@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows the paper reports (plus writes them under
+``bench_results/``).  Absolute numbers differ from the paper's CM-5 --
+the substrate is a simulator -- but the *shape* (who wins, by what
+rough factor, where crossovers fall) is asserted where the paper's
+conclusion depends on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture(scope="session")
+def report(results_dir):
+    """Print a table and persist it under bench_results/."""
+
+    def emit(name: str, lines: list[str]) -> None:
+        text = "\n".join(lines)
+        print()
+        print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+
+    return emit

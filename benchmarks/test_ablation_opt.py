@@ -1,0 +1,103 @@
+"""Ablation: the Section 5 optimisations, one at a time.
+
+DESIGN.md calls out two compiler design choices measured by the paper:
+live-variable analysis (shrinks continuation records) and the constant
+continuation optimisation (static allocation + resume inlining).  This
+benchmark isolates each across the Table 1 workloads.
+"""
+
+import pytest
+
+from repro.protocols import compile_named_protocol
+from repro.runtime.protocol import OptLevel
+from repro.workloads import STACHE_WORKLOADS, run_workload
+
+N_NODES = 32  # the paper's machine size
+
+
+def run_levels(workload_name):
+    factory, blocks_fn = STACHE_WORKLOADS[workload_name]
+    programs = factory(n_nodes=N_NODES)
+    results = {}
+    for level in OptLevel:
+        protocol = compile_named_protocol("stache", opt_level=level)
+        results[level] = run_workload(
+            protocol, workload_name, [list(p) for p in programs],
+            blocks_fn(N_NODES))
+    return results
+
+
+def test_ablation_opt_levels(benchmark, report):
+    def run_all():
+        return {name: run_levels(name) for name in STACHE_WORKLOADS}
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        "Ablation: optimisation levels across Table 1 workloads",
+        f"{'workload':9s} {'O0 cycles':>10s} {'O1 cycles':>10s} "
+        f"{'O2 cycles':>10s} {'O1 allocs':>10s} {'O2 allocs':>10s}",
+    ]
+    for name, results in table.items():
+        lines.append(
+            f"{name:9s} {results[OptLevel.O0].cycles:>10d} "
+            f"{results[OptLevel.O1].cycles:>10d} "
+            f"{results[OptLevel.O2].cycles:>10d} "
+            f"{results[OptLevel.O1].cont_allocs:>10d} "
+            f"{results[OptLevel.O2].cont_allocs:>10d}")
+    report("ablation_opt_levels", lines)
+
+    for name, results in table.items():
+        # Constant continuations cut heap allocations (O2 < O1); O0 and
+        # O1 allocate near-identically (liveness changes record *size*,
+        # not count -- timing interleavings can shift the total by a
+        # few under contention).
+        assert results[OptLevel.O2].cont_allocs < \
+            results[OptLevel.O1].cont_allocs, name
+        o0, o1 = (results[OptLevel.O0].cont_allocs,
+                  results[OptLevel.O1].cont_allocs)
+        assert abs(o0 - o1) <= max(4, 0.05 * o1), name
+
+    # In aggregate, each optimisation level is no slower than the last.
+    def total(level):
+        return sum(results[level].cycles for results in table.values())
+
+    assert total(OptLevel.O2) <= total(OptLevel.O1) <= \
+        total(OptLevel.O0) * 1.02
+
+
+def test_ablation_static_allocation_only(benchmark, report):
+    """Isolate the static-continuation half of the constant-continuation
+    optimisation by counting record traffic per workload."""
+
+    def measure():
+        rows = {}
+        for name in STACHE_WORKLOADS:
+            results = run_levels(name)
+            o1 = results[OptLevel.O1]
+            o2 = results[OptLevel.O2]
+            rows[name] = (
+                o1.cont_allocs,
+                o2.cont_allocs,
+                o2.stats.counters.static_cont_uses,
+                o2.stats.counters.direct_resumes,
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "Ablation: continuation record traffic (paper's Allocs column)",
+        f"{'workload':9s} {'O1 allocs':>10s} {'O2 allocs':>10s} "
+        f"{'static uses':>12s} {'direct resumes':>15s}",
+    ]
+    for name, (o1_allocs, o2_allocs, static, direct) in rows.items():
+        lines.append(f"{name:9s} {o1_allocs:>10d} {o2_allocs:>10d} "
+                     f"{static:>12d} {direct:>15d}")
+    report("ablation_static_conts", lines)
+
+    for name, (o1_allocs, o2_allocs, static, direct) in rows.items():
+        # Every avoided allocation became a static-continuation use.
+        # (Timing-induced interleaving differences can shift the total
+        # suspend count slightly between the two runs.)
+        o2_suspends = o2_allocs + static
+        assert abs(o2_suspends - o1_allocs) <= max(4, o1_allocs * 0.15), name
+        assert static > 0, name

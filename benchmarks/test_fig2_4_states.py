@@ -1,0 +1,86 @@
+"""Figures 1, 2, and 4: protocol state machines, idealized and real.
+
+- Figure 1/2: the idealized cache- and home-side machines (3 states on
+  the home side: Idle, ReadShared, Exclusive).
+- Figure 4: the home side "with intermediate states necessary to avoid
+  synchronous communication" -- the explosion hand-written protocols
+  suffer.
+
+The benchmark regenerates all three graphs from the compiled protocols
+and reports the state/transition counts; Graphviz renderings are
+written alongside.
+"""
+
+import os
+
+from repro.analysis import build_state_graph
+from repro.protocols import compile_named_protocol
+
+
+def build_graphs():
+    sm = build_state_graph(compile_named_protocol("stache_sm"))
+    teapot = build_state_graph(compile_named_protocol("stache"))
+    return {
+        "fig2_home_ideal": sm.restricted_to("Home_").contracted(),
+        "fig1_cache_ideal": sm.restricted_to("Cache_").contracted(),
+        "fig4_home_sm": sm.restricted_to("Home_"),
+        "teapot_home": teapot.restricted_to("Home_"),
+        "teapot_cache": teapot.restricted_to("Cache_"),
+        "fig4_cache_sm": sm.restricted_to("Cache_"),
+    }
+
+
+def test_fig2_and_fig4_state_machines(benchmark, report, results_dir):
+    graphs = benchmark.pedantic(build_graphs, rounds=1, iterations=1)
+
+    lines = ["Figures 1/2/4: Stache state machine complexity"]
+    for key, graph in graphs.items():
+        lines.append(
+            f"{key:18s} {len(graph.states):2d} states "
+            f"({len(graph.transient_states)} transient), "
+            f"{len(graph.transitions):3d} transitions")
+        with open(os.path.join(results_dir, f"{key}.dot"), "w") as handle:
+            handle.write(graph.to_dot() + "\n")
+    report("fig2_4_states", lines)
+
+    # Figure 2: the idealized home machine has exactly three states.
+    ideal = graphs["fig2_home_ideal"]
+    assert set(ideal.states) == {"Home_Idle", "Home_RS", "Home_Excl"}
+
+    # Figure 4: the real machine needs intermediate states...
+    fig4 = graphs["fig4_home_sm"]
+    assert len(fig4.transient_states) == 5
+    assert len(fig4.states) == 8
+
+    # ...while Teapot's continuations need only two *reusable*
+    # subroutine states (Section 3's code-reuse point).
+    teapot_home = graphs["teapot_home"]
+    assert len(teapot_home.transient_states) == 2
+    assert len(teapot_home.states) < len(fig4.states)
+
+
+def test_subroutine_state_reuse(benchmark, report):
+    """Section 3: 'in the Stache protocol, the four different handlers
+    that wait for a PutResponse message share a single subroutine
+    state.'  In this reproduction six recall transitions share
+    Home_Await_Put."""
+
+    def count_sources():
+        from repro.compiler.ir import TSuspend
+        protocol = compile_named_protocol("stache")
+        sources = {}
+        for handler in protocol.handlers.values():
+            for site in handler.suspend_sites:
+                sources.setdefault(site.target.name, []).append(
+                    handler.qualified_name)
+        return sources
+
+    sources = benchmark.pedantic(count_sources, rounds=1, iterations=1)
+    lines = ["Subroutine-state reuse in Stache (suspend sources per "
+             "subroutine state)"]
+    for state, users in sorted(sources.items()):
+        lines.append(f"{state:22s} <- {len(users)} handlers: "
+                     + ", ".join(sorted(set(users))))
+    report("fig_state_reuse", lines)
+    assert len(sources["Home_Await_Put"]) >= 4   # the paper's claim
+    assert len(set(sources["Home_Await_InvAck"])) >= 3

@@ -1,0 +1,83 @@
+"""Figure 6 / Section 2: the cost of adding Compare&Swap.
+
+"This primitive is a minor variation of a WriteRequest ... Tracking a
+pending Compare&Swap complicates nearly every transition in a home node
+state machine.  The state machine-based implementation needs to test
+for this condition at 14 different places."
+
+The benchmark regenerates the comparison: handler-level diffstat of the
+CAS extension against its base, in both styles, plus a functional run.
+"""
+
+from repro.analysis import protocol_diffstat
+from repro.protocols import compile_named_protocol
+from repro.tempest.machine import Machine, MachineConfig
+
+
+def measure_diffs():
+    teapot = protocol_diffstat(compile_named_protocol("stache"),
+                               compile_named_protocol("stache_cas"))
+    machine = protocol_diffstat(compile_named_protocol("stache_sm"),
+                                compile_named_protocol("stache_cas_sm"))
+    return teapot, machine
+
+
+def test_fig6_extension_cost(benchmark, report):
+    teapot, machine = benchmark.pedantic(measure_diffs, rounds=1,
+                                         iterations=1)
+    report("fig6_cas_cost", [
+        "Figure 6: cost of adding Compare&Swap",
+        f"Teapot (continuations): {teapot.summary()}",
+        f"Hand-written SM:        {machine.summary()}",
+        "",
+        "SM handlers that had to change: "
+        + ", ".join(machine.modified_handlers),
+        f"SM per-block flag variables added: "
+        + ", ".join(machine.added_info_vars),
+    ])
+
+    # The continuation version adds self-contained handlers only.
+    assert teapot.modified_handlers == []
+    assert teapot.added_info_vars == ["casResult"]
+    # The SM version must thread pending-CAS flags through existing
+    # transitions (the paper's 14-places problem).
+    assert len(machine.modified_handlers) >= 7
+    assert len(machine.added_info_vars) >= 6
+    assert machine.touch_points > teapot.touch_points
+
+
+def test_fig6_cas_works_under_contention(benchmark, report):
+    """The extension is not just cheap to write -- it is correct:
+    N racing CAS operations, exactly one winner."""
+
+    def race(name, contenders=6):
+        protocol = compile_named_protocol(name)
+        programs = [[("write", 0, 0), ("barrier",), ("barrier",),
+                     ("read", 0, "log")]]
+        for node in range(1, contenders + 1):
+            programs.append([
+                ("barrier",),
+                ("event", "CAS_FAULT", 0, (0, 0, node)),
+                ("barrier",),
+            ])
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=contenders + 1, n_blocks=1))
+        machine.run()
+        machine.assert_quiescent()
+        winners = [
+            node for node in range(1, contenders + 1)
+            if machine.nodes[node].store.record(0).info["casResult"]
+        ]
+        return winners, machine.nodes[0].observed[0][1]
+
+    def race_both():
+        return {name: race(name) for name in ("stache_cas",
+                                               "stache_cas_sm")}
+
+    outcomes = benchmark.pedantic(race_both, rounds=1, iterations=1)
+    lines = ["Compare&Swap race (6 contenders)"]
+    for name, (winners, final) in outcomes.items():
+        lines.append(f"{name:14s} winner={winners} lock word={final}")
+        assert len(winners) == 1
+        assert final == winners[0]
+    report("fig6_cas_race", lines)

@@ -1,0 +1,79 @@
+"""Section 2: the PutNoData / gratuitous-ReadRequest reordering problem.
+
+"A ReadRequest from a processor that already has a readable copy cannot
+be ignored or treated as an error.  The processor may have returned its
+copy with a PutNoData message and subsequently requested a readable
+copy ...  If messages can pass each other, the seemingly gratuitous
+ReadRequest must be retained and processed after the PutNoData message.
+Teapot, by default, queues such messages."
+
+`stache_evict` realises the scenario with cache replacement.  The
+benchmark verifies the full protocol across configurations and then
+re-creates the paper's failure mode: with evictions unacknowledged and
+the retained-request discipline replaced by an error, the checker
+produces the gratuitous-request counterexample.
+"""
+
+from repro.compiler.pipeline import compile_source
+from repro.protocols import compile_named_protocol, load_protocol_source
+from repro.verify import EvictEvents, ModelChecker
+
+
+def test_sec2_eviction_protocol_verifies(benchmark, report):
+    def measure():
+        protocol = compile_named_protocol("stache_evict")
+        return [
+            ModelChecker(protocol, n_nodes=nodes, n_blocks=addrs,
+                         reorder_bound=reorder, events=EvictEvents()).run()
+            for nodes, addrs, reorder in
+            [(2, 1, 0), (2, 1, 1), (3, 1, 0), (2, 2, 1)]
+        ]
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Section 2: Stache with cache replacement (stache_evict)"]
+    for result in results:
+        lines.append(result.summary())
+    report("sec2_eviction", lines)
+    assert all(result.ok for result in results)
+
+
+def test_sec2_retained_request_is_load_bearing(benchmark, report):
+    def break_it():
+        source = load_protocol_source("stache_evict")
+        # Treat the gratuitous request as an error instead of queueing.
+        queue_branch = """      Enqueue(MessageTag, id, info, src);
+    Else
+      AddSharer(info, src);
+      SendBlk(src, GET_RO_RESP, id);
+    Endif;"""
+        assert queue_branch in source
+        broken = source.replace(queue_branch, """      Error("gratuitous ReadRequest from a current sharer");
+    Else
+      AddSharer(info, src);
+      SendBlk(src, GET_RO_RESP, id);
+    Endif;""", 1)
+        # Re-open the overtake window: un-acknowledge the RO eviction.
+        sync = """    Send(HomeNode(id), PUT_NO_DATA, id);
+    AccessChange(id, Blk_Invalidate);
+    Suspend(L, Cache_Await_EvictAck{L});
+    SetState(info, Cache_Invalid{});
+    WakeUp(id);"""
+        assert sync in broken
+        broken = broken.replace(sync, """    Send(HomeNode(id), PUT_NO_DATA, id);
+    AccessChange(id, Blk_Invalidate);
+    SetState(info, Cache_Invalid{});
+    WakeUp(id);""", 1)
+        protocol = compile_source(
+            broken, initial_states=("Home_Idle", "Cache_Invalid"))
+        return ModelChecker(protocol, n_nodes=2, n_blocks=1,
+                            reorder_bound=1, events=EvictEvents()).run()
+
+    result = benchmark.pedantic(break_it, rounds=1, iterations=1)
+    lines = ["Section 2 ablation: error instead of retaining the "
+             "gratuitous request (unacknowledged evictions)",
+             result.summary()]
+    if result.violation is not None:
+        lines.append(result.violation.format_trace())
+    report("sec2_ablation", lines)
+    assert not result.ok
+    assert "gratuitous" in result.violation.message

@@ -1,0 +1,106 @@
+"""Table 1: Performance of the Teapot system with the Stache protocol.
+
+Paper columns: execution time for the hand-written C state machine,
+Teapot unoptimized (live-variable analysis only), and Teapot optimized
+(plus constant continuations); continuation+queue records allocated
+(optimized / unoptimized); and the average fault-time fraction.
+
+Paper values for reference (cycles in millions; % over C):
+    gauss   1930M   +11.4%  +6.2%   65.7K/551K    40%
+    appbt   1860M   +13%    +7%     19.9K/1197K   36%
+    shallow 1160M   +13%    +10%    0.3K/1001K    44%
+    mp3d    2210M   +5.9%   +5%     443K/3249K    72%
+
+Shape asserted here: both Teapot columns cost more than C but stay
+under ~25%; optimization cuts continuation allocations by a large
+factor; fault time is a substantial fraction of execution.
+"""
+
+import pytest
+
+from repro.protocols import compile_named_protocol
+from repro.runtime.protocol import OptLevel
+from repro.workloads import STACHE_WORKLOADS, run_workload
+
+N_NODES = 32  # the paper's machine size
+
+CONFIGS = [
+    ("stache_sm", OptLevel.O2, "C State Machine"),
+    ("stache", OptLevel.O1, "Teapot Unoptimized"),
+    ("stache", OptLevel.O2, "Teapot Optimized"),
+]
+
+
+def run_row(workload_name):
+    factory, blocks_fn = STACHE_WORKLOADS[workload_name]
+    programs = factory(n_nodes=N_NODES)
+    results = {}
+    for protocol_name, level, label in CONFIGS:
+        protocol = compile_named_protocol(protocol_name, opt_level=level)
+        results[label] = run_workload(
+            protocol, workload_name, [list(p) for p in programs],
+            blocks_fn(N_NODES))
+    return results
+
+
+@pytest.mark.parametrize("workload", list(STACHE_WORKLOADS))
+def test_table1_row(benchmark, report, workload):
+    results = benchmark.pedantic(run_row, args=(workload,),
+                                 rounds=1, iterations=1)
+    base = results["C State Machine"]
+    unopt = results["Teapot Unoptimized"]
+    opt = results["Teapot Optimized"]
+
+    lines = [
+        f"Table 1 row: {workload} (Stache, {N_NODES} nodes)",
+        f"{'version':20s} {'cycles':>10s} {'vs C':>8s} "
+        f"{'cont+queue allocs':>18s} {'fault time':>11s}",
+    ]
+    for label, row in results.items():
+        lines.append(
+            f"{label:20s} {row.cycles:>10d} "
+            f"{row.overhead_vs(base):>+7.1f}% "
+            f"{row.alloc_records:>18d} "
+            f"{row.fault_time_fraction:>10.0%}")
+    lines.append(
+        f"alloc reduction (opt/unopt): "
+        f"{opt.cont_allocs}/{unopt.cont_allocs}")
+    report(f"table1_{workload}", lines)
+
+    # --- shape assertions -------------------------------------------------
+    assert base.cycles < unopt.cycles, "C must beat unoptimized Teapot"
+    assert base.cycles < opt.cycles, "C must beat optimized Teapot"
+    assert unopt.overhead_vs(base) < 25.0
+    assert opt.overhead_vs(base) < 25.0
+    # Optimization reduces continuation allocations substantially
+    # (paper: 2.3x to 3300x depending on workload).
+    assert opt.cont_allocs < unopt.cont_allocs
+    # Fault time is a first-order fraction of execution (paper: 36-72%).
+    assert 0.15 < base.fault_time_fraction < 0.95
+
+
+def test_table1_optimization_narrows_the_gap(benchmark, report):
+    """Across the whole table, the optimized geomean overhead must not
+    exceed the unoptimized one (the paper's Section 6 conclusion)."""
+
+    def run_all():
+        return {name: run_row(name) for name in STACHE_WORKLOADS}
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    unopt_overheads = []
+    opt_overheads = []
+    for results in table.values():
+        base = results["C State Machine"]
+        unopt_overheads.append(
+            results["Teapot Unoptimized"].overhead_vs(base))
+        opt_overheads.append(
+            results["Teapot Optimized"].overhead_vs(base))
+    mean_unopt = sum(unopt_overheads) / len(unopt_overheads)
+    mean_opt = sum(opt_overheads) / len(opt_overheads)
+    report("table1_summary", [
+        "Table 1 summary (mean overhead vs hand-written C)",
+        f"Teapot Unoptimized: +{mean_unopt:.1f}%   (paper: +5.9..13%)",
+        f"Teapot Optimized:   +{mean_opt:.1f}%   (paper: +5..10%)",
+    ])
+    assert mean_opt <= mean_unopt
+    assert mean_opt < 20.0

@@ -1,0 +1,94 @@
+"""Table 2: Performance of the Teapot system with the LCM protocol.
+
+Paper values for reference (cycles; % over C):
+    adaptive 3301M  +4.2%   +2.3%   124K/4410K   28%
+    stencil  3717M  +10.8%  +3.8%   3347K/7452K  63%
+    unstruct 1431M  +19.4%  +16.4%  62K/2572K    38%
+
+Shape asserted: Teapot costs more than the hand-written state machine
+but stays moderate; optimization helps; unstruct is the worst case.
+"""
+
+import pytest
+
+from repro.protocols import compile_named_protocol
+from repro.runtime.protocol import OptLevel
+from repro.workloads import LCM_WORKLOADS, run_workload
+
+N_NODES = 32  # the paper's machine size
+
+CONFIGS = [
+    ("lcm_sm", OptLevel.O2, "C State Machine"),
+    ("lcm", OptLevel.O1, "Teapot Unoptimized"),
+    ("lcm", OptLevel.O2, "Teapot Optimized"),
+]
+
+
+def run_row(workload_name):
+    factory, blocks_fn = LCM_WORKLOADS[workload_name]
+    programs = factory(n_nodes=N_NODES)
+    results = {}
+    for protocol_name, level, label in CONFIGS:
+        protocol = compile_named_protocol(protocol_name, opt_level=level)
+        results[label] = run_workload(
+            protocol, workload_name, [list(p) for p in programs],
+            blocks_fn(N_NODES))
+    return results
+
+
+@pytest.mark.parametrize("workload", list(LCM_WORKLOADS))
+def test_table2_row(benchmark, report, workload):
+    results = benchmark.pedantic(run_row, args=(workload,),
+                                 rounds=1, iterations=1)
+    base = results["C State Machine"]
+    unopt = results["Teapot Unoptimized"]
+    opt = results["Teapot Optimized"]
+
+    lines = [
+        f"Table 2 row: {workload} (LCM, {N_NODES} nodes)",
+        f"{'version':20s} {'cycles':>10s} {'vs C':>8s} "
+        f"{'cont+queue allocs':>18s} {'fault time':>11s}",
+    ]
+    for label, row in results.items():
+        lines.append(
+            f"{label:20s} {row.cycles:>10d} "
+            f"{row.overhead_vs(base):>+7.1f}% "
+            f"{row.alloc_records:>18d} "
+            f"{row.fault_time_fraction:>10.0%}")
+    report(f"table2_{workload}", lines)
+
+    assert base.cycles < unopt.cycles
+    assert unopt.overhead_vs(base) < 25.0   # paper's worst: 19.4%
+    assert opt.overhead_vs(base) < 22.0     # paper's worst: 16.4%
+    assert opt.cont_allocs < unopt.cont_allocs
+
+
+def test_table2_variants_run_the_same_workloads(benchmark, report):
+    """Section 6: Teapot made three LCM variants easy to build.  The
+    equivalent state machine versions 'were not available' -- but all
+    variants must run the Table 2 workloads correctly."""
+
+    def run_variants():
+        factory, blocks_fn = LCM_WORKLOADS["stencil"]
+        programs = factory(n_nodes=8)
+        rows = {}
+        for name in ("lcm", "lcm_update", "lcm_mcc", "lcm_both"):
+            protocol = compile_named_protocol(name)
+            rows[name] = run_workload(
+                protocol, "stencil", [list(p) for p in programs],
+                blocks_fn(8))
+        return rows
+
+    rows = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    lines = ["LCM variants on stencil (8 nodes)",
+             f"{'variant':12s} {'cycles':>10s} {'messages':>9s} "
+             f"{'faults':>7s}"]
+    for name, row in rows.items():
+        lines.append(f"{name:12s} {row.cycles:>10d} "
+                     f"{row.stats.messages:>9d} "
+                     f"{row.stats.total_faults:>7d}")
+    report("table2_variants", lines)
+    # The update variant saves consumer faults on this
+    # producer-consumer-ish workload.
+    assert rows["lcm_update"].stats.total_faults <= \
+        rows["lcm"].stats.total_faults

@@ -1,0 +1,86 @@
+"""Section 6 in-text size comparisons.
+
+"We wrote the Stache protocol in Teapot (600 lines, which compiles to
+1000 lines of C) ... The state machine required approximately 1000
+lines of C.  The LCM protocol in Teapot (1500 lines) compiled to
+approximately 2300 lines of C; a hand-coded implementation of the LCM
+protocol required approximately 2500 lines of C."
+
+And Section 7: "Our hand-coded specification of the Stache protocol was
+approximately 800 lines of Mur-phi code" -- which Teapot generates for
+free.
+"""
+
+from repro.analysis import count_loc, loc_report
+from repro.protocols import load_protocol_source
+
+
+def test_text_loc_comparison(benchmark, report):
+    rows = benchmark.pedantic(
+        loc_report, args=(("stache", "stache_sm", "lcm", "lcm_sm"),),
+        rounds=1, iterations=1)
+    by_name = {row.protocol: row for row in rows}
+
+    lines = [
+        "Section 6 in-text: source sizes (non-blank, non-comment lines)",
+        f"{'protocol':12s} {'Teapot':>7s} {'gen C':>7s} {'gen Murphi':>11s} "
+        f"{'C/Teapot':>9s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.protocol:12s} {row.teapot_lines:>7d} "
+            f"{row.generated_c_lines:>7d} "
+            f"{row.generated_murphi_lines:>11d} "
+            f"{row.expansion:>8.2f}x")
+    lines += [
+        "",
+        "paper: stache 600 -> 1000 C (1.7x); lcm 1500 -> 2300 C (1.5x); "
+        "hand C: ~1000 (stache) / ~2500 (lcm); hand Murphi: ~800 (stache)",
+    ]
+    report("text_loc", lines)
+
+    stache = by_name["stache"]
+    lcm = by_name["lcm"]
+    # Generated C expands the Teapot source (paper: 1.5-1.7x; ours is a
+    # denser DSL so the factor is a bit larger).
+    assert stache.generated_c_lines > stache.teapot_lines
+    assert lcm.generated_c_lines > lcm.teapot_lines
+    # LCM is the much larger protocol, in every representation.
+    assert lcm.teapot_lines > 1.5 * stache.teapot_lines
+    assert lcm.generated_c_lines > 1.5 * stache.generated_c_lines
+    # The hand-written SM style costs more source than the
+    # continuation style, despite expressing the same protocol.
+    assert by_name["stache_sm"].teapot_lines > stache.teapot_lines
+    assert by_name["lcm_sm"].teapot_lines > lcm.teapot_lines
+    # The generated Mur-phi replaces a hand specification of comparable
+    # size (paper: 800 hand-written lines for Stache).
+    assert stache.generated_murphi_lines > 500
+
+
+def test_text_verification_event_loops(benchmark, report):
+    """Section 7: event-generation loops took ~50 (Stache), ~100
+    (Buffered-Write), and ~400 (LCM) lines of Mur-phi.  Our structured
+    generators express the same loops in a few dozen lines of Python --
+    report their relative complexity."""
+    import inspect
+
+    from repro.verify import events as events_module
+
+    def measure():
+        sizes = {}
+        for cls_name in ("StacheEvents", "BufferedWriteEvents",
+                         "CasEvents", "LcmEvents"):
+            cls = getattr(events_module, cls_name)
+            sizes[cls_name] = count_loc(inspect.getsource(cls),
+                                        comment_prefixes=("#",))
+        return sizes
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Section 7: event-generation loop sizes (lines of code)"]
+    for name, size in sizes.items():
+        lines.append(f"{name:22s} {size:3d}")
+    lines.append("paper (Mur-phi): Stache ~50, Buffered-Write ~100, "
+                 "LCM ~400")
+    report("text_event_loops", lines)
+    # LCM's loop is the most complex, as in the paper.
+    assert sizes["LcmEvents"] > sizes["StacheEvents"]

@@ -1,0 +1,56 @@
+"""Teapot: language support for writing memory coherence protocols.
+
+A from-scratch reproduction of the PLDI 1996 paper by Chandra, Richards,
+and Larus.  The package contains:
+
+- ``repro.lang``      -- the Teapot DSL front end (lexer, parser, checker)
+- ``repro.compiler``  -- handler splitting, liveness, and the constant
+  continuation optimisation
+- ``repro.backends``  -- Python, C, and Mur-phi code generators
+- ``repro.runtime``   -- executable semantics for compiled protocols
+- ``repro.tempest``   -- a Tempest-interface multiprocessor simulator
+- ``repro.protocols`` -- Stache, LCM, and their variants, in Teapot
+- ``repro.verify``    -- an explicit-state model checker
+- ``repro.workloads`` -- the paper's application workloads, synthesised
+- ``repro.analysis``  -- state graphs, extension diffing, LoC and
+  value-consistency analyses
+
+The high-level entry points are re-exported here.
+"""
+
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.lang.errors import TeapotError, LexError, ParseError, CheckError
+from repro.compiler.pipeline import compile_protocol, compile_source
+from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
+from repro.tempest.machine import Machine, MachineConfig, SimResult
+from repro.verify.checker import CheckResult, ModelChecker
+from repro.protocols import (
+    PROTOCOLS,
+    compile_named_protocol,
+    load_protocol_source,
+)
+
+__all__ = [
+    "parse_program",
+    "check_program",
+    "TeapotError",
+    "LexError",
+    "ParseError",
+    "CheckError",
+    "compile_protocol",
+    "compile_source",
+    "OptLevel",
+    "Flavor",
+    "CompiledProtocol",
+    "Machine",
+    "MachineConfig",
+    "SimResult",
+    "ModelChecker",
+    "CheckResult",
+    "PROTOCOLS",
+    "load_protocol_source",
+    "compile_named_protocol",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,148 @@
+"""Memory-consistency checking over simulation logs.
+
+The simulator logs reads tagged ``"log"`` as ``(block, value)`` pairs
+per node.  This module checks those observations against the writes the
+programs performed:
+
+- :func:`check_read_values` -- every observed value was actually written
+  to that block (or is the initial zero): no out-of-thin-air reads.
+- :func:`check_barrier_consistency` -- for barrier-synchronised,
+  race-free programs (one writer per block per phase), every read in a
+  phase observes the latest preceding write: the strongest property our
+  blocking protocols guarantee and the one the LCM paper's copy-in/
+  copy-out semantics relies on between phases.
+
+These are the "additional assertions" Section 7 says "can be verified as
+needed" -- checked here over concrete executions rather than the model,
+since the model checker deliberately abstracts data values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tempest.machine import Machine
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of a consistency check."""
+
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError("consistency violations:\n" +
+                                 "\n".join(self.violations))
+
+
+def _writes_per_block(programs: list[list]) -> dict[int, set]:
+    """All values ever written to each block, across all programs."""
+    values: dict[int, set] = {}
+    for program in programs:
+        for op in program:
+            if op[0] == "write" and len(op) > 2:
+                values.setdefault(op[1], set()).add(op[2])
+    return values
+
+
+def check_read_values(machine: Machine,
+                      programs: list[list]) -> ConsistencyReport:
+    """No logged read returns a value that was never written."""
+    written = _writes_per_block(programs)
+    report = ConsistencyReport(ok=True)
+    for node in machine.nodes:
+        for block, value in node.observed:
+            legal = written.get(block, set()) | {0}
+            if value not in legal:
+                report.ok = False
+                report.violations.append(
+                    f"node {node.node_id} read {value!r} from block "
+                    f"{block}, which was never written (legal: "
+                    f"{sorted(legal)})")
+    return report
+
+
+def _phases(program: list) -> list[list]:
+    """Split a program into barrier-delimited phases."""
+    phases: list[list] = [[]]
+    for op in program:
+        if op[0] == "barrier":
+            phases.append([])
+        else:
+            phases[-1].append(op)
+    return phases
+
+
+def check_barrier_consistency(machine: Machine,
+                              programs: list[list]) -> ConsistencyReport:
+    """Phase-accurate value checking for race-free programs.
+
+    Requires that within each barrier-delimited phase every block has at
+    most one writing node (checked); then every logged read must observe
+    the last value written in an *earlier* phase, or a value written in
+    the read's own phase, or the initial zero if the block is untouched
+    so far.
+    """
+    report = ConsistencyReport(ok=True)
+    all_phases = [_phases(p) for p in programs]
+    n_phases = max(len(p) for p in all_phases)
+
+    # Value each block holds at the *start* of each phase.
+    current: dict[int, int] = {}
+    value_before_phase: list[dict[int, int]] = []
+    for phase_index in range(n_phases):
+        value_before_phase.append(dict(current))
+        writers: dict[int, int] = {}
+        for node, phases in enumerate(all_phases):
+            if phase_index >= len(phases):
+                continue
+            for op in phases[phase_index]:
+                if op[0] == "write" and len(op) > 2:
+                    block = op[1]
+                    if block in writers and writers[block] != node:
+                        report.ok = False
+                        report.violations.append(
+                            f"phase {phase_index}: racy writes to block "
+                            f"{block} by nodes {writers[block]} and "
+                            f"{node}; barrier consistency undefined")
+                    writers[block] = node
+                    current[block] = op[2]
+    if not report.ok:
+        return report
+
+    # Replay each node's logged reads phase by phase.
+    for node_obj, phases in zip(machine.nodes, all_phases):
+        observed = list(node_obj.observed)
+        cursor = 0
+        for phase_index, phase in enumerate(phases):
+            local: dict[int, int] = {}
+            for op in phase:
+                if op[0] == "write" and len(op) > 2:
+                    local[op[1]] = op[2]
+                elif op[0] == "read" and len(op) > 2 and op[2] == "log":
+                    if cursor >= len(observed):
+                        report.ok = False
+                        report.violations.append(
+                            f"node {node_obj.node_id}: fewer observations "
+                            "than logged reads")
+                        return report
+                    block, value = observed[cursor]
+                    cursor += 1
+                    if block != op[1]:
+                        report.ok = False
+                        report.violations.append(
+                            f"node {node_obj.node_id}: observation order "
+                            f"mismatch (expected block {op[1]}, got "
+                            f"{block})")
+                        continue
+                    expected = local.get(
+                        block, value_before_phase[phase_index].get(block, 0))
+                    if value != expected:
+                        report.ok = False
+                        report.violations.append(
+                            f"node {node_obj.node_id}, phase {phase_index}: "
+                            f"read block {block} = {value!r}, expected "
+                            f"{expected!r}")
+    return report

@@ -1,0 +1,87 @@
+"""Extension touch-point counting (Figure 6 / Section 2).
+
+"The state machine-based implementation needs to test for this
+condition at 14 different places" -- the cost of adding Compare&Swap to
+a protocol is measured by how many handlers the extension adds or
+modifies.  This module diffs two compiled protocols at handler
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.ir import HandlerIR, IAssign, ICall, IPrint, IResume
+from repro.runtime.protocol import CompiledProtocol
+from repro.lang.pretty import format_expr
+
+
+def _handler_fingerprint(handler: HandlerIR) -> tuple:
+    """A structural fingerprint insensitive to block numbering."""
+    parts: list = [tuple(handler.params), tuple(sorted(handler.locals))]
+    for block_id in sorted(handler.blocks):
+        block = handler.blocks[block_id]
+        for op in block.ops:
+            if isinstance(op, IAssign):
+                parts.append(("assign", op.target, format_expr(op.value)))
+            elif isinstance(op, ICall):
+                parts.append(("call", op.name,
+                              tuple(format_expr(a) for a in op.args)))
+            elif isinstance(op, IResume):
+                parts.append(("resume", format_expr(op.cont)))
+            elif isinstance(op, IPrint):
+                parts.append(("print",))
+        parts.append(type(block.terminator).__name__)
+    return tuple(parts)
+
+
+@dataclass
+class DiffStat:
+    """Handler-level diff between a base protocol and an extension."""
+
+    base: str
+    extended: str
+    added_states: list[str] = field(default_factory=list)
+    added_messages: list[str] = field(default_factory=list)
+    added_handlers: list[str] = field(default_factory=list)
+    modified_handlers: list[str] = field(default_factory=list)
+    added_info_vars: list[str] = field(default_factory=list)
+
+    @property
+    def touch_points(self) -> int:
+        """Handlers added or modified: the Figure 6 metric."""
+        return len(self.added_handlers) + len(self.modified_handlers)
+
+    def summary(self) -> str:
+        return (
+            f"{self.base} -> {self.extended}: "
+            f"{len(self.added_states)} new states, "
+            f"{len(self.added_messages)} new messages, "
+            f"{len(self.added_info_vars)} new per-block variables, "
+            f"{len(self.added_handlers)} new handlers, "
+            f"{len(self.modified_handlers)} modified handlers "
+            f"({self.touch_points} touch points)"
+        )
+
+
+def protocol_diffstat(base: CompiledProtocol,
+                      extended: CompiledProtocol) -> DiffStat:
+    """Diff ``extended`` against ``base`` at handler granularity."""
+    diff = DiffStat(base=base.name, extended=extended.name)
+    diff.added_states = sorted(set(extended.states) - set(base.states))
+    diff.added_messages = sorted(
+        set(extended.messages) - set(base.messages))
+    diff.added_info_vars = sorted(
+        set(extended.info_vars) - set(base.info_vars))
+
+    base_fingerprints = {
+        key: _handler_fingerprint(handler)
+        for key, handler in base.handlers.items()
+    }
+    for key, handler in sorted(extended.handlers.items()):
+        name = f"{key[0]}.{key[1]}"
+        if key not in base_fingerprints:
+            diff.added_handlers.append(name)
+        elif _handler_fingerprint(handler) != base_fingerprints[key]:
+            diff.modified_handlers.append(name)
+    return diff

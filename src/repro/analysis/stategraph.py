@@ -1,0 +1,159 @@
+"""State-transition graph extraction (Figures 1, 2, and 4).
+
+Builds, from a compiled protocol, the graph whose nodes are protocol
+states and whose edges are (message, target-state) transitions found by
+scanning each handler for ``SetState`` calls and ``Suspend`` targets.
+The home-side subgraph of ``stache_sm`` is exactly Figure 4's machine
+("state machine with intermediate states necessary to avoid synchronous
+communication"); the three-state idealisation of Figure 2 is what
+remains after contracting transient states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.compiler.ir import HandlerIR, ICall, TSuspend
+from repro.runtime.protocol import CompiledProtocol
+
+
+@dataclass(frozen=True)
+class Transition:
+    source: str
+    message: str
+    target: str
+    via_suspend: bool = False
+
+    def __str__(self) -> str:
+        arrow = "~~>" if self.via_suspend else "-->"
+        return f"{self.source} {arrow} {self.target}  [{self.message}]"
+
+
+@dataclass
+class StateGraph:
+    """States and transitions of one protocol (or one side of it)."""
+
+    protocol: str
+    states: list[str]
+    transient_states: list[str]
+    transitions: list[Transition] = field(default_factory=list)
+
+    @property
+    def stable_states(self) -> list[str]:
+        transient = set(self.transient_states)
+        return [s for s in self.states if s not in transient]
+
+    def restricted_to(self, prefix: str) -> "StateGraph":
+        """The subgraph of states whose names start with ``prefix``
+        (e.g. ``Home_`` for the Figure 2/4 home side)."""
+        keep = {s for s in self.states if s.startswith(prefix)}
+        return StateGraph(
+            protocol=self.protocol,
+            states=[s for s in self.states if s in keep],
+            transient_states=[s for s in self.transient_states if s in keep],
+            transitions=[
+                t for t in self.transitions
+                if t.source in keep and t.target in keep
+            ],
+        )
+
+    def contracted(self) -> "StateGraph":
+        """Contract transient states: the idealized machine (Figure 2).
+
+        Every path stable -> transient* -> stable collapses to a single
+        edge labelled by the initiating message.
+        """
+        transient = set(self.transient_states)
+        by_source: dict[str, list[Transition]] = {}
+        for transition in self.transitions:
+            by_source.setdefault(transition.source, []).append(transition)
+
+        def reachable_stables(state: str, seen: frozenset) -> set[str]:
+            result: set[str] = set()
+            for transition in by_source.get(state, []):
+                target = transition.target
+                if target in seen:
+                    continue
+                if target in transient:
+                    result |= reachable_stables(target, seen | {target})
+                else:
+                    result.add(target)
+            return result
+
+        edges: set[Transition] = set()
+        for transition in self.transitions:
+            if transition.source in transient:
+                continue
+            if transition.target not in transient:
+                edges.add(Transition(transition.source, transition.message,
+                                     transition.target))
+                continue
+            for stable in reachable_stables(transition.target,
+                                            frozenset({transition.target})):
+                edges.add(Transition(transition.source, transition.message,
+                                     stable))
+        return StateGraph(
+            protocol=self.protocol,
+            states=self.stable_states,
+            transient_states=[],
+            transitions=sorted(edges, key=str),
+        )
+
+    def summary(self) -> str:
+        return (f"{self.protocol}: {len(self.states)} states "
+                f"({len(self.transient_states)} transient), "
+                f"{len(self.transitions)} transitions")
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (for the figures)."""
+        lines = [f'digraph "{self.protocol}" {{', "  rankdir=LR;"]
+        transient = set(self.transient_states)
+        for state in self.states:
+            shape = "ellipse" if state not in transient else "box"
+            style = "" if state not in transient else ', style="dashed"'
+            lines.append(f'  "{state}" [shape={shape}{style}];')
+        for transition in self.transitions:
+            style = ', style="dashed"' if transition.via_suspend else ""
+            lines.append(
+                f'  "{transition.source}" -> "{transition.target}" '
+                f'[label="{transition.message}"{style}];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _targets_of(handler: HandlerIR) -> list[tuple[str, bool]]:
+    """State names this handler can move the block to."""
+    targets: list[tuple[str, bool]] = []
+    for block in handler.blocks.values():
+        for op in block.ops:
+            if isinstance(op, ICall) and op.name == "SetState":
+                state_expr = op.args[1]
+                if isinstance(state_expr, ast.StateExpr):
+                    targets.append((state_expr.name, False))
+        term = block.terminator
+        if isinstance(term, TSuspend):
+            site = handler.suspend_sites[term.site_id]
+            targets.append((site.target.name, True))
+    return targets
+
+
+def build_state_graph(protocol: CompiledProtocol) -> StateGraph:
+    """Extract the full transition graph of ``protocol``."""
+    graph = StateGraph(
+        protocol=protocol.name,
+        states=sorted(protocol.states),
+        transient_states=sorted(
+            s.name for s in protocol.states.values() if s.transient),
+    )
+    seen: set[Transition] = set()
+    for (state_name, message_name), handler in sorted(protocol.handlers.items()):
+        for target, via_suspend in _targets_of(handler):
+            transition = Transition(state_name, message_name, target,
+                                    via_suspend)
+            if transition not in seen:
+                seen.add(transition)
+                graph.transitions.append(transition)
+        # Resumes continue a suspended transition; the eventual SetState
+        # is attributed to the suspended handler via its own scan.
+    return graph

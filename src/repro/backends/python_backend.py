@@ -1,0 +1,328 @@
+"""The Python back end: compiled protocols as executable Python source.
+
+Each handler fragment becomes a Python function over ``(rt, env)`` where
+``rt`` is a :class:`GeneratedRuntime` adapter around the host
+:class:`~repro.runtime.context.ProtocolContext`.  Control flow uses a
+program-counter trampoline, so suspend points inside loops and
+conditionals split exactly as in the interpreter.
+
+The generated module is self-contained apart from the adapter: tests
+exec it and check behavioural equivalence with the interpreter.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.compiler.ir import (
+    HandlerIR,
+    IAssign,
+    ICall,
+    IPrint,
+    IResume,
+    TBranch,
+    TGoto,
+    TReturn,
+    TSuspend,
+)
+from repro.runtime.builtins import BUILTIN_IMPLS
+from repro.runtime.context import INFO_HANDLE
+from repro.runtime.continuation import ContinuationRecord, make_continuation
+from repro.runtime.protocol import (
+    CompiledProtocol,
+    NOBODY,
+    StateValue,
+    default_value_for,
+)
+
+_OP_MAP = {
+    "=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "+": "+", "-": "-", "*": "*", "%": "%",
+    "And": "and", "Or": "or",
+}
+
+
+def _fn_name(state: str, message: str) -> str:
+    return f"h_{state}__{message}"
+
+
+class _ExprEmitter:
+    """Compiles Teapot expressions to Python expression strings."""
+
+    def __init__(self, protocol: CompiledProtocol, handler: HandlerIR):
+        self.protocol = protocol
+        self.handler = handler
+        self.frame = set(handler.frame_vars)
+
+    def emit(self, expr: ast.Expr) -> str:
+        if isinstance(expr, ast.IntLit):
+            return repr(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return repr(expr.value)
+        if isinstance(expr, ast.StrLit):
+            return repr(expr.value)
+        if isinstance(expr, ast.NameRef):
+            return self._emit_name(expr.name)
+        if isinstance(expr, ast.CallExpr):
+            args = ", ".join(self.emit(a) for a in expr.args)
+            return f"rt.call({expr.name!r}, [{args}])"
+        if isinstance(expr, ast.StateExpr):
+            args = ", ".join(self.emit(a) for a in expr.args)
+            return f"rt.state_value({expr.name!r}, ({args}{',' if expr.args else ''}))"
+        if isinstance(expr, ast.BinOp):
+            left = self.emit(expr.left)
+            right = self.emit(expr.right)
+            if expr.op == "/":
+                return f"rt.div({left}, {right})"
+            return f"({left} {_OP_MAP[expr.op]} {right})"
+        if isinstance(expr, ast.UnOp):
+            operand = self.emit(expr.operand)
+            return f"(not {operand})" if expr.op == "Not" else f"(-{operand})"
+        raise CompileError(f"cannot emit expression {expr!r}")
+
+    def _emit_name(self, name: str) -> str:
+        if name in self.frame:
+            return f"env[{name!r}]"
+        if name in self.protocol.info_vars:
+            return f"rt.get_info({name!r})"
+        if name in self.protocol.consts:
+            return repr(self.protocol.consts[name])
+        if name == "MyNode":
+            return "rt.node"
+        if name == "Nobody":
+            return "NOBODY"
+        if name == "MessageTag":
+            return "rt.tag"
+        if name.startswith("Blk_") or name in self.protocol.messages:
+            return repr(name)
+        if name in self.protocol.checked.consts:
+            return f"rt.support_const({name!r})"
+        raise CompileError(
+            f"cannot resolve name {name!r} in {self.handler.qualified_name}")
+
+
+def _emit_handler(out: io.StringIO, protocol: CompiledProtocol,
+                  handler: HandlerIR) -> None:
+    emitter = _ExprEmitter(protocol, handler)
+    name = _fn_name(handler.state_name, handler.message_name)
+    out.write(f"def {name}(rt, env, pc={handler.entry}):\n")
+    out.write(f'    """{handler.qualified_name}"""\n')
+    out.write("    while True:\n")
+    for block_id in sorted(handler.blocks):
+        block = handler.blocks[block_id]
+        out.write(f"        if pc == {block_id}:\n")
+        body: list[str] = []
+        for op in block.ops:
+            body.extend(_emit_op(emitter, handler, op))
+        body.extend(_emit_terminator(emitter, handler, block.terminator))
+        for line in body:
+            out.write(f"            {line}\n")
+        out.write("            continue\n")
+    out.write("        raise RuntimeError(f'bad pc {pc}')\n\n\n")
+
+
+def _emit_op(emitter: _ExprEmitter, handler: HandlerIR, op) -> list[str]:
+    if isinstance(op, IAssign):
+        value = emitter.emit(op.value)
+        if op.target in emitter.frame:
+            return [f"env[{op.target!r}] = {value}"]
+        if op.target in emitter.protocol.info_vars:
+            return [f"rt.set_info({op.target!r}, {value})"]
+        raise CompileError(f"cannot assign to {op.target!r}")
+    if isinstance(op, ICall):
+        args = ", ".join(emitter.emit(a) for a in op.args)
+        return [f"rt.call({op.name!r}, [{args}])"]
+    if isinstance(op, IResume):
+        cont = emitter.emit(op.cont)
+        direct = repr(op.direct_site is not None)
+        return [f"rt.resume({cont}, direct={direct})"]
+    if isinstance(op, IPrint):
+        args = ", ".join(emitter.emit(a) for a in op.args)
+        return [f"rt.debug_print([{args}])"]
+    raise CompileError(f"cannot emit op {op!r}")
+
+
+def _emit_terminator(emitter: _ExprEmitter, handler: HandlerIR,
+                     term) -> list[str]:
+    if isinstance(term, TGoto):
+        return [f"pc = {term.target}"]
+    if isinstance(term, TBranch):
+        cond = emitter.emit(term.cond)
+        return [
+            f"pc = {term.true_target} if {cond} else {term.false_target}",
+        ]
+    if isinstance(term, TReturn):
+        return ["return"]
+    if isinstance(term, TSuspend):
+        site = handler.suspend_sites[term.site_id]
+        saved = ", ".join(
+            f"({name!r}, env.get({name!r}))" for name in site.save_set)
+        target_args = ", ".join(
+            emitter.emit(a) for a in site.target.args)
+        trailing = "," if site.target.args else ""
+        return [
+            f"env[{site.cont_name!r}] = rt.suspend("
+            f"{handler.qualified_name!r}, {site.site_id}, "
+            f"({saved}{',' if site.save_set else ''}), "
+            f"{site.is_static!r})",
+            f"rt.set_state({site.target.name!r}, ({target_args}{trailing}))",
+            "return",
+        ]
+    raise CompileError(f"cannot emit terminator {term!r}")
+
+
+def emit_python(protocol: CompiledProtocol) -> str:
+    """Generate the executable Python module for ``protocol``."""
+    out = io.StringIO()
+    out.write(f'"""Generated by the Teapot Python back end.\n\n')
+    out.write(f"protocol: {protocol.name}\n")
+    out.write(f"optimisation level: {protocol.opt_level.name}\n")
+    out.write('"""\n\n')
+    out.write("NOBODY = -1\n\n\n")
+    for key in sorted(protocol.handlers):
+        _emit_handler(out, protocol, protocol.handlers[key])
+
+    out.write("HANDLERS = {\n")
+    for state_name, message_name in sorted(protocol.handlers):
+        fn = _fn_name(state_name, message_name)
+        out.write(f"    ({state_name!r}, {message_name!r}): {fn},\n")
+    out.write("}\n")
+    return out.getvalue()
+
+
+class GeneratedRuntime:
+    """The ``rt`` object generated handler code runs against.
+
+    Thin adapter over a :class:`~repro.runtime.context.ProtocolContext`;
+    reuses the interpreter's builtin implementations so generated code
+    and interpreted code share one source of truth for Tempest
+    semantics.
+    """
+
+    def __init__(self, runner: "GeneratedProtocolRunner"):
+        self._runner = runner
+        self.ctx = runner.ctx
+        self.protocol = runner.protocol  # for BUILTIN_IMPLS compatibility
+
+    @property
+    def node(self) -> int:
+        return self.ctx.node
+
+    @property
+    def tag(self) -> str:
+        return self.ctx.current_message.tag
+
+    def call(self, name: str, args: list):
+        impl = BUILTIN_IMPLS.get(name)
+        if impl is None:
+            return self.ctx.support_call(name, args)
+        return impl(self, args)
+
+    def div(self, left, right):
+        if right == 0:
+            self.ctx.error("division by zero in protocol code")
+            return 0
+        return int(left / right)
+
+    def get_info(self, name: str):
+        return self.ctx.get_info(name)
+
+    def set_info(self, name: str, value) -> None:
+        self.ctx.set_info(name, value)
+
+    def set_state(self, name: str, args: tuple) -> None:
+        self.ctx.set_state(name, args)
+
+    def state_value(self, name: str, args: tuple) -> StateValue:
+        return StateValue(name, args)
+
+    def debug_print(self, values: list) -> None:
+        self.ctx.debug_print(values)
+
+    def support_const(self, name: str):
+        return self.ctx.support_const(name)
+
+    def suspend(self, qualified: str, site_id: int,
+                saved: tuple, is_static: bool) -> ContinuationRecord:
+        self.ctx.counters.suspends += 1
+        static = is_static and not saved
+        if static:
+            self.ctx.counters.static_cont_uses += 1
+        else:
+            self.ctx.counters.cont_allocs += 1
+        return make_continuation(qualified, site_id, saved, static)
+
+    def resume(self, record, direct: bool = False) -> None:
+        if not isinstance(record, ContinuationRecord):
+            self.ctx.error(f"Resume applied to {record!r}")
+            return
+        counters = self.ctx.counters
+        counters.resumes += 1
+        if direct:
+            counters.direct_resumes += 1
+        if not record.is_static:
+            counters.cont_frees += 1
+        self._runner.run_fragment(record)
+
+
+class GeneratedProtocolRunner:
+    """Drives generated Python handlers; drop-in for HandlerInterpreter."""
+
+    def __init__(self, protocol: CompiledProtocol, ctx):
+        self.protocol = protocol
+        self.ctx = ctx
+        namespace: dict = {}
+        exec(compile(emit_python(protocol), f"<{protocol.name}.py>", "exec"),
+             namespace)
+        self.handlers = namespace["HANDLERS"]
+        self.rt = GeneratedRuntime(self)
+
+    def dispatch(self) -> None:
+        msg = self.ctx.current_message
+        state_name, state_args = self.ctx.get_state()
+        state = self.protocol.states.get(state_name)
+        if state is None:
+            self.ctx.error(f"unknown state {state_name!r}")
+            return
+        handler = state.dispatch(msg.tag)
+        if handler is None:
+            self.ctx.error(
+                f"unexpected message {msg.tag} to state {state_name}")
+            return
+        self.ctx.counters.handler_dispatches += 1
+        env = self._initial_env(handler, state_args, msg)
+        fn = self.handlers[(handler.state_name, handler.message_name)]
+        fn(self.rt, env)
+
+    def run_fragment(self, record: ContinuationRecord) -> None:
+        handler, site = self.protocol.suspend_site(
+            record.handler, record.site_id)
+        env: dict = {name: None for name in handler.frame_vars}
+        for name, type_name in handler.locals.items():
+            env[name] = default_value_for(type_name)
+        env[handler.params[0]] = self.ctx.current_message.block
+        env[handler.params[1]] = INFO_HANDLE
+        env.update(record.environment())
+        fn = self.handlers[(handler.state_name, handler.message_name)]
+        fn(self.rt, env, pc=site.resume_block)
+
+    def _initial_env(self, handler: HandlerIR, state_args: tuple, msg) -> dict:
+        env: dict = {}
+        for (name, _type), value in zip(handler.state_params.items(),
+                                        state_args):
+            env[name] = value
+        for name, type_name in handler.locals.items():
+            env[name] = default_value_for(type_name)
+        for name in handler.cont_vars:
+            env.setdefault(name, None)
+        params = handler.params
+        env[params[0]] = msg.block
+        env[params[1]] = INFO_HANDLE
+        env[params[2]] = msg.src
+        if handler.message_name != "DEFAULT":
+            for index, name in enumerate(params[3:]):
+                env[name] = (msg.payload[index]
+                             if index < len(msg.payload) else None)
+        return env

@@ -1,0 +1,262 @@
+"""The ``teapot`` command-line interface.
+
+Subcommands::
+
+    teapot check <file.tea>              parse and type-check
+    teapot compile <file.tea> [--target python|c|murphi] [-O0|-O1|-O2]
+    teapot fmt <file.tea> [-i]           canonical pretty-printing
+    teapot info <file.tea>               compiled-protocol summary
+    teapot verify <name|file.tea> [...]  model-check (+ --progress liveness)
+    teapot run <name|file.tea> <workload>  simulate a Table 1/2 workload
+    teapot graph <name|file.tea>         state graph (text or dot)
+    teapot list                          registered protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backends import emit_c, emit_murphi, emit_python
+from repro.compiler.pipeline import compile_source
+from repro.lang.errors import TeapotError, format_error_with_context
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.protocol import OptLevel
+from repro.protocols import PROTOCOLS, compile_named_protocol
+from repro.verify import ModelChecker, events_for_protocol
+from repro.verify.invariants import standard_invariants
+from repro.analysis import build_state_graph
+
+
+def _load(target: str, opt_level: OptLevel):
+    """Compile a registered protocol name or a .tea file path."""
+    if target in PROTOCOLS:
+        return compile_named_protocol(target, opt_level=opt_level), target
+    with open(target) as handle:
+        source = handle.read()
+    return compile_source(source, opt_level=opt_level,
+                          filename=target), target
+
+
+def _opt_level(args) -> OptLevel:
+    if args.O0:
+        return OptLevel.O0
+    if args.O1:
+        return OptLevel.O1
+    return OptLevel.O2
+
+
+def _add_opt_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-O0", action="store_true",
+                        help="no optimisation (save the whole frame)")
+    parser.add_argument("-O1", action="store_true",
+                        help="live-variable analysis only")
+    parser.add_argument("-O2", action="store_true",
+                        help="liveness + constant continuations (default)")
+
+
+def cmd_check(args) -> int:
+    with open(args.file) as handle:
+        source = handle.read()
+    try:
+        check_program(parse_program(source, args.file))
+    except TeapotError as error:
+        print(format_error_with_context(error, source), file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK")
+    return 0
+
+
+def cmd_compile(args) -> int:
+    protocol, _name = _load(args.file, _opt_level(args))
+    emitters = {"python": emit_python, "c": emit_c, "murphi": emit_murphi}
+    text = emitters[args.target](protocol)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_fmt(args) -> int:
+    from repro.lang.pretty import format_program
+
+    with open(args.file) as handle:
+        source = handle.read()
+    try:
+        program = parse_program(source, args.file)
+        check_program(program)
+    except TeapotError as error:
+        print(format_error_with_context(error, source), file=sys.stderr)
+        return 1
+    text = format_program(program)
+    if args.in_place:
+        with open(args.file, "w") as handle:
+            handle.write(text)
+        print(f"formatted {args.file}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_info(args) -> int:
+    protocol, _name = _load(args.file, _opt_level(args))
+    print(protocol.describe())
+    return 0
+
+
+def cmd_verify(args) -> int:
+    protocol, name = _load(args.protocol, _opt_level(args))
+    events = events_for_protocol(name if name in PROTOCOLS else "stache")
+    coherent = not name.startswith("buffered")
+    checker = ModelChecker(
+        protocol,
+        n_nodes=args.nodes,
+        n_blocks=args.addresses,
+        reorder_bound=args.reorder,
+        events=events,
+        invariants=standard_invariants(coherent=coherent),
+        max_states=args.max_states,
+        check_progress=args.progress,
+    )
+    result = checker.run()
+    print(result.summary())
+    if result.violation is not None:
+        print(result.violation.format_trace())
+        return 1
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.workloads import LCM_WORKLOADS, STACHE_WORKLOADS, run_workload
+
+    workloads = {**STACHE_WORKLOADS, **LCM_WORKLOADS}
+    if args.workload not in workloads:
+        print(f"error: unknown workload {args.workload!r}; known: "
+              + ", ".join(sorted(workloads)), file=sys.stderr)
+        return 1
+    factory, blocks_fn = workloads[args.workload]
+    protocol, _name = _load(args.protocol, _opt_level(args))
+    programs = factory(n_nodes=args.nodes)
+    result = run_workload(protocol, args.workload, programs,
+                          blocks_fn(args.nodes))
+    counters = result.stats.counters
+    print(f"workload:   {args.workload} on {args.nodes} nodes")
+    print(f"protocol:   {protocol.name} "
+          f"(opt={protocol.opt_level.name}, flavor={protocol.flavor.value})")
+    print(f"cycles:     {result.cycles}")
+    print(f"messages:   {result.stats.messages} "
+          f"({counters.data_messages_sent} with data)")
+    print(f"faults:     {result.stats.total_faults}")
+    print(f"allocs:     {counters.cont_allocs} continuation records, "
+          f"{counters.queue_allocs} queue records")
+    print(f"fault time: {result.fault_time_fraction:.0%}")
+    return 0
+
+
+def cmd_graph(args) -> int:
+    protocol, _name = _load(args.protocol, OptLevel.O2)
+    graph = build_state_graph(protocol)
+    if args.side:
+        graph = graph.restricted_to(args.side)
+    if args.contract:
+        graph = graph.contracted()
+    if args.dot:
+        print(graph.to_dot())
+    else:
+        print(graph.summary())
+        for transition in graph.transitions:
+            print(f"  {transition}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    for name, entry in sorted(PROTOCOLS.items()):
+        print(f"{name:16s} {entry.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="teapot",
+        description="Teapot: a language for writing memory coherence "
+                    "protocols (PLDI 1996 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p = subparsers.add_parser("check", help="parse and type-check a file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_check)
+
+    p = subparsers.add_parser("compile", help="generate code")
+    p.add_argument("file", help="registered protocol name or .tea path")
+    p.add_argument("--target", choices=("python", "c", "murphi"),
+                   default="c")
+    p.add_argument("-o", "--output")
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = subparsers.add_parser(
+        "fmt", help="pretty-print a protocol to canonical form")
+    p.add_argument("file")
+    p.add_argument("-i", "--in-place", action="store_true")
+    p.set_defaults(fn=cmd_fmt)
+
+    p = subparsers.add_parser("info", help="compiled-protocol summary")
+    p.add_argument("file")
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = subparsers.add_parser("verify", help="model-check a protocol")
+    p.add_argument("protocol")
+    p.add_argument("--nodes", type=int, default=2)
+    p.add_argument("--addresses", type=int, default=1)
+    p.add_argument("--reorder", type=int, default=0,
+                   help="network reordering bound (0 = FIFO)")
+    p.add_argument("--max-states", type=int, default=2_000_000)
+    p.add_argument("--progress", action="store_true",
+                   help="also check liveness: every blocked thread can "
+                        "reach a wake-up (catches starvation)")
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_verify)
+
+    p = subparsers.add_parser(
+        "run", help="simulate a registered workload under a protocol")
+    p.add_argument("protocol")
+    p.add_argument("workload", help="gauss|appbt|shallow|mp3d|"
+                                    "adaptive|stencil|unstruct")
+    p.add_argument("--nodes", type=int, default=16)
+    _add_opt_flags(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = subparsers.add_parser("graph", help="print the state graph")
+    p.add_argument("protocol")
+    p.add_argument("--side", help="restrict to a state-name prefix "
+                                  "(e.g. Home_)")
+    p.add_argument("--contract", action="store_true",
+                   help="contract transient states (the idealized machine)")
+    p.add_argument("--dot", action="store_true", help="emit Graphviz")
+    p.set_defaults(fn=cmd_graph)
+
+    p = subparsers.add_parser("list", help="list registered protocols")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except TeapotError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

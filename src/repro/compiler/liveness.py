@@ -1,0 +1,115 @@
+"""Live-variable analysis over handler CFGs.
+
+The paper's first optimisation: "save and restore in the continuation
+only values that are referenced after the Suspend" (Section 5).  For
+each suspend site we compute the live-in set of its resume block; only
+those frame variables are captured in the continuation record.
+
+Without this analysis (optimisation level O0) every frame variable is
+saved, exactly as in Figure 10's naive splitting.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.compiler.ir import (
+    BasicBlock,
+    HandlerIR,
+    IAssign,
+    ICall,
+    IPrint,
+    IResume,
+    TBranch,
+    TSuspend,
+)
+
+
+def _names_in(expr: ast.Expr, frame: set[str]) -> set[str]:
+    """Frame variables referenced anywhere inside ``expr``."""
+    return {
+        node.name
+        for node in ast.walk_expr(expr)
+        if isinstance(node, ast.NameRef) and node.name in frame
+    }
+
+
+def _block_transfer(block: BasicBlock, live_out: set[str],
+                    frame: set[str], handler: HandlerIR) -> set[str]:
+    """Propagate liveness backward through one block."""
+    live = set(live_out)
+
+    term = block.terminator
+    if isinstance(term, TBranch):
+        live |= _names_in(term.cond, frame)
+    elif isinstance(term, TSuspend):
+        site = handler.suspend_sites[term.site_id]
+        # The suspend defines the fresh continuation, then evaluates the
+        # target state's arguments (which reference it).
+        live.discard(site.cont_name)
+        for arg in site.target.args:
+            names = _names_in(arg, frame)
+            names.discard(site.cont_name)
+            live |= names
+
+    for op in reversed(block.ops):
+        if isinstance(op, IAssign):
+            if op.target in frame:
+                live.discard(op.target)
+            live |= _names_in(op.value, frame)
+        elif isinstance(op, ICall):
+            for arg in op.args:
+                live |= _names_in(arg, frame)
+        elif isinstance(op, IResume):
+            live |= _names_in(op.cont, frame)
+        elif isinstance(op, IPrint):
+            for arg in op.args:
+                live |= _names_in(arg, frame)
+    return live
+
+
+def compute_liveness(handler: HandlerIR) -> dict[int, set[str]]:
+    """Live-in sets for every block of ``handler`` (fixed-point iteration)."""
+    frame = set(handler.frame_vars)
+    live_in: dict[int, set[str]] = {b: set() for b in handler.blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in handler.rpo_blocks():
+            live_out: set[str] = set()
+            for succ in block.successors():
+                live_out |= live_in[succ]
+            new_live_in = _block_transfer(block, live_out, frame, handler)
+            if new_live_in != live_in[block.block_id]:
+                live_in[block.block_id] = new_live_in
+                changed = True
+    return live_in
+
+
+def _rebindable(handler: HandlerIR) -> set[str]:
+    """Frame variables that need not be saved because the resumed fragment
+    can re-derive them from its context.
+
+    The conventional ``id`` and ``info`` parameters always denote the
+    block the continuation is parked on, so the resuming message supplies
+    them afresh.  (The sender parameter and payload words are genuinely
+    message-specific and must be captured.)
+    """
+    return set(handler.params[:2])
+
+
+def apply_liveness(handler: HandlerIR) -> None:
+    """Set each suspend site's ``save_set`` to the live frame variables."""
+    live_in = compute_liveness(handler)
+    rebindable = _rebindable(handler)
+    for site in handler.suspend_sites:
+        live = live_in[site.resume_block] - rebindable
+        site.save_set = tuple(
+            name for name in handler.frame_vars if name in live)
+
+
+def apply_save_all(handler: HandlerIR) -> None:
+    """-O0 behaviour: capture the whole frame at every suspend (Figure 10)."""
+    for site in handler.suspend_sites:
+        site.save_set = tuple(
+            name for name in handler.frame_vars if name != site.cont_name)

@@ -1,0 +1,17 @@
+"""The Teapot language front end: lexer, parser, and semantic checker."""
+
+from repro.lang.lexer import tokenize, Token
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.lang.errors import TeapotError, LexError, ParseError, CheckError
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse_program",
+    "check_program",
+    "TeapotError",
+    "LexError",
+    "ParseError",
+    "CheckError",
+]

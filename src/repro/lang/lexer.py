@@ -1,0 +1,174 @@
+"""A hand-written lexer for the Teapot language.
+
+Comments come in two forms: ``--`` to end of line (Pascal/Mur-phi style,
+matching the paper's lineage) and ``/* ... */`` block comments (the paper
+shows protocols maintained alongside C support code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.errors import LexError, SourceLocation
+from repro.lang.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    TokenKind,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.location})"
+
+
+class _Scanner:
+    """Cursor over the source text that tracks line/column positions."""
+
+    def __init__(self, source: str, filename: str):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.at_end():
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def starts_with(self, text: str) -> bool:
+        return self.source.startswith(text, self.pos)
+
+
+def _skip_trivia(scanner: _Scanner) -> None:
+    """Consume whitespace and comments between tokens."""
+    while not scanner.at_end():
+        char = scanner.peek()
+        if char in " \t\r\n":
+            scanner.advance()
+        elif scanner.starts_with("--"):
+            while not scanner.at_end() and scanner.peek() != "\n":
+                scanner.advance()
+        elif scanner.starts_with("/*"):
+            start = scanner.location()
+            scanner.advance(2)
+            while not scanner.at_end() and not scanner.starts_with("*/"):
+                scanner.advance()
+            if scanner.at_end():
+                raise LexError("unterminated block comment", start)
+            scanner.advance(2)
+        else:
+            return
+
+
+def _lex_identifier(scanner: _Scanner) -> Token:
+    start = scanner.location()
+    chars = []
+    while not scanner.at_end() and (scanner.peek().isalnum() or scanner.peek() == "_"):
+        chars.append(scanner.peek())
+        scanner.advance()
+    text = "".join(chars)
+    kind = KEYWORDS.get(text.lower(), TokenKind.IDENT)
+    return Token(kind, text, start)
+
+
+def _lex_number(scanner: _Scanner) -> Token:
+    start = scanner.location()
+    chars = []
+    while not scanner.at_end() and scanner.peek().isdigit():
+        chars.append(scanner.peek())
+        scanner.advance()
+    if not scanner.at_end() and (scanner.peek().isalpha() or scanner.peek() == "_"):
+        raise LexError(
+            f"identifier may not start with a digit: "
+            f"{''.join(chars)}{scanner.peek()}...",
+            start,
+        )
+    return Token(TokenKind.INTLIT, "".join(chars), start)
+
+
+def _lex_string(scanner: _Scanner) -> Token:
+    start = scanner.location()
+    quote = scanner.peek()
+    scanner.advance()
+    chars = []
+    while not scanner.at_end() and scanner.peek() != quote:
+        if scanner.peek() == "\n":
+            raise LexError("newline in string literal", start)
+        if scanner.peek() == "\\" and scanner.peek(1) in (quote, "\\", "n", "t"):
+            escape = scanner.peek(1)
+            chars.append({"n": "\n", "t": "\t"}.get(escape, escape))
+            scanner.advance(2)
+        else:
+            chars.append(scanner.peek())
+            scanner.advance()
+    if scanner.at_end():
+        raise LexError("unterminated string literal", start)
+    scanner.advance()  # closing quote
+    return Token(TokenKind.STRLIT, "".join(chars), start)
+
+
+def _lex_operator(scanner: _Scanner) -> Token:
+    start = scanner.location()
+    for spelling, kind in MULTI_CHAR_OPERATORS:
+        if scanner.starts_with(spelling):
+            scanner.advance(len(spelling))
+            return Token(kind, spelling, start)
+    char = scanner.peek()
+    kind = SINGLE_CHAR_OPERATORS.get(char)
+    if kind is None:
+        raise LexError(f"unexpected character {char!r}", start)
+    scanner.advance()
+    return Token(kind, char, start)
+
+
+def iter_tokens(source: str, filename: str = "<string>") -> Iterator[Token]:
+    """Yield the tokens of ``source``, ending with a single EOF token."""
+    scanner = _Scanner(source, filename)
+    while True:
+        _skip_trivia(scanner)
+        if scanner.at_end():
+            yield Token(TokenKind.EOF, "", scanner.location())
+            return
+        char = scanner.peek()
+        if char.isalpha() or char == "_":
+            yield _lex_identifier(scanner)
+        elif char.isdigit():
+            yield _lex_number(scanner)
+        elif char in "'\"":
+            yield _lex_string(scanner)
+        else:
+            yield _lex_operator(scanner)
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Lex ``source`` into a complete token list (EOF token last)."""
+    return list(iter_tokens(source, filename))

@@ -1,0 +1,484 @@
+"""Recursive-descent parser for the Teapot language.
+
+Follows the grammar in Appendix A of the paper.  Two liberties are taken
+to match the paper's own examples, which deviate slightly from the
+appendix:
+
+- State parameter lists and state constructors use braces (``{...}``) as
+  in every example; the appendix's parenthesised form is also accepted.
+- Argument lists may be separated by commas (as in the examples) or by
+  semicolons (as in the appendix grammar).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.errors import ParseError, SourceLocation
+from repro.lang.lexer import Token, tokenize
+from repro.lang.tokens import BINARY_PRECEDENCE, OPERATOR_SPELLING, TokenKind
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token stream helpers ------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _at(self, kind: TokenKind) -> bool:
+        return self._peek().kind is kind
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, context: str = "") -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            where = f" in {context}" if context else ""
+            raise ParseError(
+                f"expected {kind.value!r} but found "
+                f"{token.text or token.kind.value!r}{where}",
+                token.location,
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind) -> Optional[Token]:
+        if self._at(kind):
+            return self._advance()
+        return None
+
+    def _expect_ident(self, context: str = "") -> Token:
+        return self._expect(TokenKind.IDENT, context)
+
+    def _location(self) -> SourceLocation:
+        return self._peek().location
+
+    # -- program structure ---------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """program: modules protocol states"""
+        location = self._location()
+        modules = []
+        while self._at(TokenKind.KW_MODULE):
+            modules.append(self._parse_module())
+        protocol = self._parse_protocol()
+        states = []
+        while self._at(TokenKind.KW_STATE):
+            states.append(self._parse_state_def())
+        self._expect(TokenKind.EOF, "end of program")
+        return ast.Program(modules, protocol, states, location=location)
+
+    def _parse_module(self) -> ast.Module:
+        location = self._location()
+        self._expect(TokenKind.KW_MODULE)
+        name = self._expect_ident("module header").text
+        self._expect(TokenKind.KW_BEGIN, "module body")
+        decls: list[ast.ModuleDecl] = []
+        while not self._at(TokenKind.KW_END):
+            decls.append(self._parse_module_decl())
+        self._expect(TokenKind.KW_END)
+        self._expect(TokenKind.SEMI, "module")
+        return ast.Module(name, decls, location=location)
+
+    def _parse_module_decl(self) -> ast.ModuleDecl:
+        token = self._peek()
+        if token.kind is TokenKind.KW_TYPE:
+            self._advance()
+            name = self._expect_ident("type declaration").text
+            self._expect(TokenKind.SEMI, "type declaration")
+            return ast.TypeDecl(name, location=token.location)
+        if token.kind is TokenKind.KW_CONST:
+            self._advance()
+            name = self._expect_ident("const declaration").text
+            self._expect(TokenKind.COLON, "const declaration")
+            type_name = self._expect_ident("const declaration").text
+            self._expect(TokenKind.SEMI, "const declaration")
+            return ast.ConstDecl(name, type_name, location=token.location)
+        if token.kind is TokenKind.KW_FUNCTION:
+            self._advance()
+            name = self._expect_ident("function prototype").text
+            params = self._parse_param_list(TokenKind.LPAREN, TokenKind.RPAREN)
+            self._expect(TokenKind.COLON, "function prototype")
+            return_type = self._expect_ident("function prototype").text
+            self._expect(TokenKind.SEMI, "function prototype")
+            return ast.FunctionDecl(name, params, return_type, location=token.location)
+        if token.kind is TokenKind.KW_PROCEDURE:
+            self._advance()
+            name = self._expect_ident("procedure prototype").text
+            params = self._parse_param_list(TokenKind.LPAREN, TokenKind.RPAREN)
+            self._expect(TokenKind.SEMI, "procedure prototype")
+            return ast.ProcedureDecl(name, params, location=token.location)
+        raise ParseError(
+            f"expected a module declaration but found {token.text!r}",
+            token.location,
+        )
+
+    def _parse_protocol(self) -> ast.Protocol:
+        location = self._location()
+        self._expect(TokenKind.KW_PROTOCOL, "protocol header")
+        name = self._expect_ident("protocol header").text
+        self._expect(TokenKind.KW_BEGIN, "protocol body")
+        decls: list[ast.ProtocolDecl] = []
+        while not self._at(TokenKind.KW_END):
+            decls.extend(self._parse_protocol_decl())
+        self._expect(TokenKind.KW_END)
+        self._expect(TokenKind.SEMI, "protocol")
+        return ast.Protocol(name, decls, location=location)
+
+    def _parse_protocol_decl(self) -> list[ast.ProtocolDecl]:
+        """Parse one protocol declaration.
+
+        Returns a list because ``Var a, b : T;`` desugars into one
+        :class:`~repro.lang.ast.ProtoVarDecl` per name.
+        """
+        token = self._peek()
+        if token.kind is TokenKind.KW_VAR:
+            self._advance()
+            names = self._parse_name_list()
+            self._expect(TokenKind.COLON, "protocol variable")
+            type_name = self._expect_ident("protocol variable").text
+            self._expect(TokenKind.SEMI, "protocol variable")
+            return [
+                ast.ProtoVarDecl(name, type_name, location=token.location)
+                for name in names
+            ]
+        if token.kind is TokenKind.KW_CONST:
+            self._advance()
+            name = self._expect_ident("protocol constant").text
+            self._expect(TokenKind.ASSIGN, "protocol constant")
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI, "protocol constant")
+            return [ast.ProtoConstDef(name, value, location=token.location)]
+        if token.kind is TokenKind.KW_STATE:
+            self._advance()
+            name = self._expect_ident("state declaration").text
+            params = self._parse_state_params()
+            transient = self._accept(TokenKind.KW_TRANSIENT) is not None
+            self._expect(TokenKind.SEMI, "state declaration")
+            return [ast.StateDecl(name, params, transient,
+                                  location=token.location)]
+        if token.kind is TokenKind.KW_MESSAGE:
+            self._advance()
+            name = self._expect_ident("message declaration").text
+            self._expect(TokenKind.SEMI, "message declaration")
+            return [ast.MessageDecl(name, location=token.location)]
+        raise ParseError(
+            f"expected a protocol declaration but found {token.text!r}",
+            token.location,
+        )
+
+    # -- state definitions ---------------------------------------------------
+
+    def _parse_state_def(self) -> ast.StateDef:
+        location = self._location()
+        self._expect(TokenKind.KW_STATE)
+        first = self._expect_ident("state definition").text
+        if self._accept(TokenKind.DOT):
+            protocol_name = first
+            state_name = self._expect_ident("state definition").text
+        else:
+            protocol_name = ""
+            state_name = first
+        params = self._parse_state_params()
+        self._expect(TokenKind.KW_BEGIN, "state body")
+        handlers = []
+        while self._at(TokenKind.KW_MESSAGE):
+            handlers.append(self._parse_handler())
+        self._expect(TokenKind.KW_END, "state body")
+        self._expect(TokenKind.SEMI, "state definition")
+        return ast.StateDef(protocol_name, state_name, params, handlers,
+                            location=location)
+
+    def _parse_handler(self) -> ast.Handler:
+        location = self._location()
+        self._expect(TokenKind.KW_MESSAGE)
+        name = self._expect_ident("message handler").text
+        params: list[ast.Param] = []
+        if self._at(TokenKind.LPAREN):
+            params = self._parse_param_list(TokenKind.LPAREN, TokenKind.RPAREN)
+        local_decls: list[ast.Param] = []
+        if self._at(TokenKind.KW_VAR):
+            local_decls = self._parse_block_decls()
+        self._expect(TokenKind.KW_BEGIN, "handler body")
+        body = self._parse_stmts(terminators=(TokenKind.KW_END,))
+        self._expect(TokenKind.KW_END, "handler body")
+        self._expect(TokenKind.SEMI, "handler")
+        return ast.Handler(name, params, local_decls, body, location=location)
+
+    def _parse_block_decls(self) -> list[ast.Param]:
+        self._expect(TokenKind.KW_VAR)
+        decls: list[ast.Param] = []
+        # One or more "names : type ;" groups, up to Begin.
+        while self._at(TokenKind.IDENT):
+            location = self._location()
+            names = self._parse_name_list()
+            self._expect(TokenKind.COLON, "local variable declaration")
+            type_name = self._expect_ident("local variable declaration").text
+            self._expect(TokenKind.SEMI, "local variable declaration")
+            for name in names:
+                decls.append(ast.Param(name, type_name, location=location))
+        return decls
+
+    # -- parameters ----------------------------------------------------------
+
+    def _parse_state_params(self) -> list[ast.Param]:
+        """State parameter lists appear as ``{...}`` (examples) or ``(...)``."""
+        if self._at(TokenKind.LBRACE):
+            return self._parse_param_list(TokenKind.LBRACE, TokenKind.RBRACE)
+        if self._at(TokenKind.LPAREN):
+            return self._parse_param_list(TokenKind.LPAREN, TokenKind.RPAREN)
+        raise ParseError(
+            "expected a state parameter list ('{' or '(')",
+            self._location(),
+        )
+
+    def _parse_param_list(self, open_kind: TokenKind,
+                          close_kind: TokenKind) -> list[ast.Param]:
+        self._expect(open_kind)
+        params: list[ast.Param] = []
+        if self._accept(close_kind):
+            return params
+        while True:
+            by_ref = self._accept(TokenKind.KW_VAR) is not None
+            location = self._location()
+            names = self._parse_name_list()
+            self._expect(TokenKind.COLON, "parameter")
+            type_name = self._expect_ident("parameter type").text
+            for name in names:
+                params.append(ast.Param(name, type_name, by_ref, location))
+            if self._accept(TokenKind.SEMI) or self._accept(TokenKind.COMMA):
+                if self._at(close_kind):  # tolerate trailing separator
+                    break
+                continue
+            break
+        self._expect(close_kind, "parameter list")
+        return params
+
+    def _parse_name_list(self) -> list[str]:
+        names = [self._expect_ident("name list").text]
+        while self._accept(TokenKind.COMMA):
+            names.append(self._expect_ident("name list").text)
+        return names
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_stmts(self, terminators: tuple[TokenKind, ...]) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        while not any(self._at(kind) for kind in terminators):
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_stmt(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if token.kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if token.kind is TokenKind.KW_SUSPEND:
+            return self._parse_suspend()
+        if token.kind is TokenKind.KW_RESUME:
+            return self._parse_resume()
+        if token.kind is TokenKind.KW_RETURN:
+            return self._parse_return()
+        if token.kind is TokenKind.KW_PRINT:
+            return self._parse_print()
+        if token.kind is TokenKind.IDENT:
+            return self._parse_call_or_assign()
+        raise ParseError(
+            f"expected a statement but found {token.text or token.kind.value!r}",
+            token.location,
+        )
+
+    def _parse_if(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_IF)
+        self._expect(TokenKind.LPAREN, "if condition")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "if condition")
+        self._expect(TokenKind.KW_THEN, "if statement")
+        then_body = self._parse_stmts(
+            terminators=(TokenKind.KW_ELSE, TokenKind.KW_ENDIF))
+        else_body: list[ast.Stmt] = []
+        if self._accept(TokenKind.KW_ELSE):
+            else_body = self._parse_stmts(terminators=(TokenKind.KW_ENDIF,))
+        self._expect(TokenKind.KW_ENDIF, "if statement")
+        self._expect(TokenKind.SEMI, "if statement")
+        return ast.If(cond, then_body, else_body, location=location)
+
+    def _parse_while(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN, "while condition")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "while condition")
+        self._expect(TokenKind.KW_DO, "while statement")
+        body = self._parse_stmts(terminators=(TokenKind.KW_END,))
+        self._expect(TokenKind.KW_END, "while statement")
+        self._expect(TokenKind.SEMI, "while statement")
+        return ast.While(cond, body, location=location)
+
+    def _parse_suspend(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_SUSPEND)
+        self._expect(TokenKind.LPAREN, "suspend")
+        cont_name = self._expect_ident("suspend continuation name").text
+        self._expect(TokenKind.COMMA, "suspend")
+        target = self._parse_state_constructor()
+        self._expect(TokenKind.RPAREN, "suspend")
+        self._expect(TokenKind.SEMI, "suspend")
+        return ast.Suspend(cont_name, target, location=location)
+
+    def _parse_resume(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_RESUME)
+        self._expect(TokenKind.LPAREN, "resume")
+        cont = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "resume")
+        self._expect(TokenKind.SEMI, "resume")
+        return ast.Resume(cont, location=location)
+
+    def _parse_return(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_RETURN)
+        value = None
+        if not self._at(TokenKind.SEMI):
+            value = self._parse_expr()
+        self._expect(TokenKind.SEMI, "return")
+        return ast.Return(value, location=location)
+
+    def _parse_print(self) -> ast.Stmt:
+        location = self._location()
+        self._expect(TokenKind.KW_PRINT)
+        self._expect(TokenKind.LPAREN, "print")
+        args = self._parse_arg_list(TokenKind.RPAREN)
+        self._expect(TokenKind.RPAREN, "print")
+        self._expect(TokenKind.SEMI, "print")
+        return ast.PrintStmt(args, location=location)
+
+    def _parse_call_or_assign(self) -> ast.Stmt:
+        location = self._location()
+        name = self._expect_ident().text
+        if self._accept(TokenKind.ASSIGN):
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI, "assignment")
+            return ast.Assign(name, value, location=location)
+        self._expect(TokenKind.LPAREN, "procedure call")
+        args = self._parse_arg_list(TokenKind.RPAREN)
+        self._expect(TokenKind.RPAREN, "procedure call")
+        self._expect(TokenKind.SEMI, "procedure call")
+        return ast.CallStmt(name, args, location=location)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_arg_list(self, close_kind: TokenKind) -> list[ast.Expr]:
+        args: list[ast.Expr] = []
+        if self._at(close_kind):
+            return args
+        args.append(self._parse_expr())
+        while self._accept(TokenKind.COMMA) or self._accept(TokenKind.SEMI):
+            if self._at(close_kind):  # tolerate trailing separator
+                break
+            args.append(self._parse_expr())
+        return args
+
+    def _parse_expr(self, min_precedence: int = 1) -> ast.Expr:
+        """Precedence-climbing over the operators in ``BINARY_PRECEDENCE``."""
+        left = self._parse_unary()
+        while True:
+            kind = self._peek().kind
+            precedence = BINARY_PRECEDENCE.get(kind, 0)
+            if precedence < min_precedence:
+                return left
+            op_token = self._advance()
+            right = self._parse_expr(precedence + 1)
+            left = ast.BinOp(OPERATOR_SPELLING[kind], left, right,
+                             location=op_token.location)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.KW_NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp("Not", operand, location=token.location)
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnOp("-", operand, location=token.location)
+        return self._parse_app_expr()
+
+    def _parse_app_expr(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind is TokenKind.INTLIT:
+            self._advance()
+            return ast.IntLit(int(token.text), location=token.location)
+        if token.kind is TokenKind.STRLIT:
+            self._advance()
+            return ast.StrLit(token.text, location=token.location)
+        if token.kind is TokenKind.KW_TRUE:
+            self._advance()
+            return ast.BoolLit(True, location=token.location)
+        if token.kind is TokenKind.KW_FALSE:
+            self._advance()
+            return ast.BoolLit(False, location=token.location)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "parenthesised expression")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            name = self._advance().text
+            if self._at(TokenKind.LPAREN):
+                self._advance()
+                args = self._parse_arg_list(TokenKind.RPAREN)
+                self._expect(TokenKind.RPAREN, "call")
+                return ast.CallExpr(name, args, location=token.location)
+            if self._at(TokenKind.LBRACE):
+                self._advance()
+                args = self._parse_arg_list(TokenKind.RBRACE)
+                self._expect(TokenKind.RBRACE, "state constructor")
+                return ast.StateExpr(name, args, location=token.location)
+            return ast.NameRef(name, location=token.location)
+        raise ParseError(
+            f"expected an expression but found "
+            f"{token.text or token.kind.value!r}",
+            token.location,
+        )
+
+    def _parse_state_constructor(self) -> ast.StateExpr:
+        token = self._peek()
+        expr = self._parse_app_expr()
+        if not isinstance(expr, ast.StateExpr):
+            raise ParseError(
+                "the second argument of Suspend must be a state "
+                "constructor, e.g. AwaitResponse{L}",
+                token.location,
+            )
+        return expr
+
+
+def parse_program(source: str, filename: str = "<string>") -> ast.Program:
+    """Parse Teapot ``source`` into an AST.
+
+    Raises :class:`~repro.lang.errors.LexError` or
+    :class:`~repro.lang.errors.ParseError` on malformed input.
+    """
+    return Parser(tokenize(source, filename)).parse_program()
+
+
+def parse_handler_body(source: str, filename: str = "<handler>") -> list[ast.Stmt]:
+    """Parse a bare statement list -- a convenience used heavily by tests."""
+    parser = Parser(tokenize(source, filename))
+    stmts = parser._parse_stmts(terminators=(TokenKind.EOF,))
+    parser._expect(TokenKind.EOF)
+    return stmts

@@ -1,0 +1,167 @@
+"""Pretty-printer: renders an AST back to canonical Teapot source.
+
+``parse(pretty(parse(src)))`` is structurally identical to ``parse(src)``
+-- a property the test suite checks with hypothesis-generated programs.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "  "
+
+
+def _indent(lines: list[str], depth: int) -> list[str]:
+    return [_INDENT * depth + line if line else line for line in lines]
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Render an expression to source text (fully parenthesised binops)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "True" if expr.value else "False"
+    if isinstance(expr, ast.StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.NameRef):
+        return expr.name
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.StateExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}{{{args}}}"
+    if isinstance(expr, ast.BinOp):
+        return f"({format_expr(expr.left)} {expr.op} {format_expr(expr.right)})"
+    if isinstance(expr, ast.UnOp):
+        if expr.op == "Not":
+            return f"(Not {format_expr(expr.operand)})"
+        return f"(-{format_expr(expr.operand)})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def format_param(param: ast.Param) -> str:
+    prefix = "Var " if param.by_ref else ""
+    return f"{prefix}{param.name} : {param.type_name}"
+
+
+def _format_stmt(stmt: ast.Stmt) -> list[str]:
+    if isinstance(stmt, ast.Assign):
+        return [f"{stmt.target} := {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.CallStmt):
+        args = ", ".join(format_expr(a) for a in stmt.args)
+        return [f"{stmt.name}({args});"]
+    if isinstance(stmt, ast.If):
+        lines = [f"If ({format_expr(stmt.cond)}) Then"]
+        lines += _indent(format_stmts(stmt.then_body), 1)
+        if stmt.else_body:
+            lines.append("Else")
+            lines += _indent(format_stmts(stmt.else_body), 1)
+        lines.append("Endif;")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"While ({format_expr(stmt.cond)}) Do"]
+        lines += _indent(format_stmts(stmt.body), 1)
+        lines.append("End;")
+        return lines
+    if isinstance(stmt, ast.Suspend):
+        return [f"Suspend({stmt.cont_name}, {format_expr(stmt.target)});"]
+    if isinstance(stmt, ast.Resume):
+        return [f"Resume({format_expr(stmt.cont)});"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return ["Return;"]
+        return [f"Return {format_expr(stmt.value)};"]
+    if isinstance(stmt, ast.PrintStmt):
+        args = ", ".join(format_expr(a) for a in stmt.args)
+        return [f"Print({args});"]
+    raise TypeError(f"unknown statement node: {stmt!r}")
+
+
+def format_stmts(stmts: list[ast.Stmt]) -> list[str]:
+    lines: list[str] = []
+    for stmt in stmts:
+        lines.extend(_format_stmt(stmt))
+    return lines
+
+
+def _format_handler(handler: ast.Handler) -> list[str]:
+    params = "; ".join(format_param(p) for p in handler.params)
+    head = f"Message {handler.message_name}({params})"
+    lines = [head]
+    if handler.local_decls:
+        lines.append("Var")
+        for decl in handler.local_decls:
+            lines.append(f"{_INDENT}{decl.name} : {decl.type_name};")
+    lines.append("Begin")
+    lines += _indent(format_stmts(handler.body), 1)
+    lines.append("End;")
+    return lines
+
+
+def _format_state_def(state: ast.StateDef) -> list[str]:
+    params = "; ".join(format_param(p) for p in state.params)
+    qualifier = f"{state.protocol_name}." if state.protocol_name else ""
+    lines = [f"State {qualifier}{state.state_name}{{{params}}}", "Begin"]
+    for handler in state.handlers:
+        lines += _indent(_format_handler(handler), 1)
+        lines.append("")
+    if lines[-1] == "":
+        lines.pop()
+    lines.append("End;")
+    return lines
+
+
+def _format_module(module: ast.Module) -> list[str]:
+    lines = [f"Module {module.name}", "Begin"]
+    for decl in module.decls:
+        if isinstance(decl, ast.TypeDecl):
+            lines.append(f"{_INDENT}Type {decl.name};")
+        elif isinstance(decl, ast.ConstDecl):
+            lines.append(f"{_INDENT}Const {decl.name} : {decl.type_name};")
+        elif isinstance(decl, ast.FunctionDecl):
+            params = "; ".join(format_param(p) for p in decl.params)
+            lines.append(
+                f"{_INDENT}Function {decl.name}({params}) : {decl.return_type};")
+        elif isinstance(decl, ast.ProcedureDecl):
+            params = "; ".join(format_param(p) for p in decl.params)
+            lines.append(f"{_INDENT}Procedure {decl.name}({params});")
+        else:
+            raise TypeError(f"unknown module declaration: {decl!r}")
+    lines.append("End;")
+    return lines
+
+
+def _format_protocol(protocol: ast.Protocol) -> list[str]:
+    lines = [f"Protocol {protocol.name}", "Begin"]
+    for decl in protocol.decls:
+        if isinstance(decl, ast.ProtoVarDecl):
+            lines.append(f"{_INDENT}Var {decl.name} : {decl.type_name};")
+        elif isinstance(decl, ast.ProtoConstDef):
+            lines.append(f"{_INDENT}Const {decl.name} := {format_expr(decl.value)};")
+        elif isinstance(decl, ast.StateDecl):
+            params = "; ".join(format_param(p) for p in decl.params)
+            suffix = " Transient" if decl.transient else ""
+            lines.append(f"{_INDENT}State {decl.name}{{{params}}}{suffix};")
+        elif isinstance(decl, ast.MessageDecl):
+            lines.append(f"{_INDENT}Message {decl.name};")
+        else:
+            raise TypeError(f"unknown protocol declaration: {decl!r}")
+    lines.append("End;")
+    return lines
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a complete program back to Teapot source text."""
+    lines: list[str] = []
+    for module in program.modules:
+        lines += _format_module(module)
+        lines.append("")
+    lines += _format_protocol(program.protocol)
+    lines.append("")
+    for state in program.states:
+        lines += _format_state_def(state)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,169 @@
+"""Token kinds and keyword tables for the Teapot lexer.
+
+The token set follows Appendix A of the paper.  Keywords are recognised
+case-insensitively (the paper's examples mix ``Begin``/``begin`` and
+``DEFAULT``), while identifiers remain case-sensitive.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+
+
+@unique
+class TokenKind(Enum):
+    # Literals and identifiers
+    IDENT = "identifier"
+    INTLIT = "integer literal"
+    STRLIT = "string literal"
+
+    # Keywords
+    KW_MODULE = "Module"
+    KW_PROTOCOL = "Protocol"
+    KW_STATE = "State"
+    KW_MESSAGE = "Message"
+    KW_BEGIN = "Begin"
+    KW_END = "End"
+    KW_TYPE = "Type"
+    KW_CONST = "Const"
+    KW_VAR = "Var"
+    KW_FUNCTION = "Function"
+    KW_PROCEDURE = "Procedure"
+    KW_IF = "If"
+    KW_THEN = "Then"
+    KW_ELSE = "Else"
+    KW_ENDIF = "Endif"
+    KW_WHILE = "While"
+    KW_DO = "Do"
+    KW_SUSPEND = "Suspend"
+    KW_RESUME = "Resume"
+    KW_RETURN = "Return"
+    KW_PRINT = "Print"
+    KW_TRANSIENT = "Transient"
+    KW_AND = "And"
+    KW_OR = "Or"
+    KW_NOT = "Not"
+    KW_TRUE = "True"
+    KW_FALSE = "False"
+
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMI = ";"
+    COMMA = ","
+    COLON = ":"
+    DOT = "."
+    ASSIGN = ":="
+
+    # Operators (the grammar's "sym-id")
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+
+    EOF = "end of input"
+
+
+# Keyword lookup, keyed by lower-cased spelling.
+KEYWORDS = {
+    "module": TokenKind.KW_MODULE,
+    "protocol": TokenKind.KW_PROTOCOL,
+    "state": TokenKind.KW_STATE,
+    "message": TokenKind.KW_MESSAGE,
+    "begin": TokenKind.KW_BEGIN,
+    "end": TokenKind.KW_END,
+    "type": TokenKind.KW_TYPE,
+    "const": TokenKind.KW_CONST,
+    "var": TokenKind.KW_VAR,
+    "function": TokenKind.KW_FUNCTION,
+    "procedure": TokenKind.KW_PROCEDURE,
+    "if": TokenKind.KW_IF,
+    "then": TokenKind.KW_THEN,
+    "else": TokenKind.KW_ELSE,
+    "endif": TokenKind.KW_ENDIF,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "suspend": TokenKind.KW_SUSPEND,
+    "resume": TokenKind.KW_RESUME,
+    "return": TokenKind.KW_RETURN,
+    "print": TokenKind.KW_PRINT,
+    "transient": TokenKind.KW_TRANSIENT,
+    "and": TokenKind.KW_AND,
+    "or": TokenKind.KW_OR,
+    "not": TokenKind.KW_NOT,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+}
+
+# Multi-character punctuation, longest match first.
+MULTI_CHAR_OPERATORS = [
+    (":=", TokenKind.ASSIGN),
+    ("!=", TokenKind.NE),
+    ("<>", TokenKind.NE),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+]
+
+SINGLE_CHAR_OPERATORS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ":": TokenKind.COLON,
+    ".": TokenKind.DOT,
+    "=": TokenKind.EQ,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+}
+
+# Binary operators usable in expressions, with parser precedence
+# (higher binds tighter).
+BINARY_PRECEDENCE = {
+    TokenKind.KW_OR: 1,
+    TokenKind.KW_AND: 2,
+    TokenKind.EQ: 3,
+    TokenKind.NE: 3,
+    TokenKind.LT: 4,
+    TokenKind.LE: 4,
+    TokenKind.GT: 4,
+    TokenKind.GE: 4,
+    TokenKind.PLUS: 5,
+    TokenKind.MINUS: 5,
+    TokenKind.STAR: 6,
+    TokenKind.SLASH: 6,
+    TokenKind.PERCENT: 6,
+}
+
+# Spelling used when pretty-printing operators back to source.
+OPERATOR_SPELLING = {
+    TokenKind.KW_OR: "Or",
+    TokenKind.KW_AND: "And",
+    TokenKind.EQ: "=",
+    TokenKind.NE: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+    TokenKind.PLUS: "+",
+    TokenKind.MINUS: "-",
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.PERCENT: "%",
+}

@@ -1,0 +1,122 @@
+"""The paper's case-study protocols, written in Teapot.
+
+Each protocol ships as a ``.tea`` source file plus a registration entry
+describing its initial states.  Two styles exist for Stache and LCM:
+
+- the continuation style (``stache.tea``, ``lcm.tea``) -- the paper's
+  contribution, using ``Suspend``/``Resume`` and subroutine states;
+- the hand-written state-machine style (``stache_sm.tea``,
+  ``lcm_sm.tea``) -- explicit intermediate states and pending-request
+  bookkeeping, standing in for the paper's hand-written C protocols.
+
+Both styles of a protocol are *behaviourally identical* on the wire,
+which the test suite exploits for differential testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import resources
+from typing import Optional
+
+from repro.compiler.pipeline import compile_source
+from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """Registry entry for a named protocol."""
+
+    name: str
+    filename: str
+    initial_states: tuple[str, str]     # (home, cache)
+    flavor: Flavor
+    description: str
+
+
+PROTOCOLS = {
+    entry.name: entry
+    for entry in [
+        ProtocolEntry(
+            "stache", "stache.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "Stache directory protocol, continuation style (Section 4)"),
+        ProtocolEntry(
+            "stache_sm", "stache_sm.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.BASELINE,
+            "Stache as a hand-written state machine (the C baseline)"),
+        ProtocolEntry(
+            "stache_cas", "stache_cas.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "Stache extended with Compare&Swap (Figure 6)"),
+        ProtocolEntry(
+            "stache_cas_sm", "stache_cas_sm.tea",
+            ("Home_Idle", "Cache_Invalid"), Flavor.BASELINE,
+            "Compare&Swap retrofitted onto the state-machine Stache"),
+        ProtocolEntry(
+            "buffered_write", "buffered_write.tea",
+            ("Home_Idle", "Cache_Invalid"), Flavor.TEAPOT,
+            "Stache variant buffering writes until a synchronisation "
+            "point (Section 6)"),
+        ProtocolEntry(
+            "stache_evict", "stache_evict.tea",
+            ("Home_Idle", "Cache_Invalid"), Flavor.TEAPOT,
+            "Stache with cache replacement and the Section 2 "
+            "gratuitous-request queueing discipline"),
+        ProtocolEntry(
+            "stache_nack", "stache_nack.tea",
+            ("Home_Idle", "Cache_Invalid"), Flavor.TEAPOT,
+            "Stache with the NACK-and-retry policy for busy-home "
+            "requests (Section 2's nack option)"),
+        ProtocolEntry(
+            "dash", "dash.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "DASH-style protocol: the writer collects invalidation acks "
+            "via nested suspends (Section 3)"),
+        ProtocolEntry(
+            "lcm", "lcm.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "LCM: loosely coherent memory with phase-based reconciliation"),
+        ProtocolEntry(
+            "lcm_sm", "lcm_sm.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.BASELINE,
+            "LCM as a hand-written state machine (the C baseline)"),
+        ProtocolEntry(
+            "lcm_update", "lcm_update.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "LCM variant eagerly updating consumers at phase end"),
+        ProtocolEntry(
+            "lcm_mcc", "lcm_mcc.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "LCM variant managing multiple distributed copies"),
+        ProtocolEntry(
+            "lcm_both", "lcm_both.tea", ("Home_Idle", "Cache_Invalid"),
+            Flavor.TEAPOT,
+            "LCM with both the update and MCC extensions"),
+    ]
+}
+
+
+def load_protocol_source(name: str) -> str:
+    """Return the Teapot source text of the named protocol."""
+    entry = PROTOCOLS.get(name)
+    if entry is None:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}")
+    return (resources.files(__package__) / entry.filename).read_text()
+
+
+def compile_named_protocol(
+    name: str,
+    opt_level: OptLevel = OptLevel.O2,
+    flavor: Optional[Flavor] = None,
+) -> CompiledProtocol:
+    """Compile a registered protocol by name."""
+    entry = PROTOCOLS[name]
+    return compile_source(
+        load_protocol_source(name),
+        opt_level=opt_level,
+        flavor=flavor if flavor is not None else entry.flavor,
+        initial_states=entry.initial_states,
+        filename=entry.filename,
+    )

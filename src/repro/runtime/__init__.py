@@ -1,0 +1,18 @@
+"""Executable semantics for compiled Teapot protocols.
+
+The runtime is deliberately split from :mod:`repro.tempest` (the
+multiprocessor simulator): the same interpreter executes handlers both
+under the simulator and under the model checker in :mod:`repro.verify`,
+which supplies a different :class:`~repro.runtime.context.ProtocolContext`.
+"""
+
+from repro.runtime.protocol import CompiledProtocol, CompiledStateInfo
+from repro.runtime.continuation import ContinuationRecord
+from repro.runtime.exec import HandlerInterpreter
+
+__all__ = [
+    "CompiledProtocol",
+    "CompiledStateInfo",
+    "ContinuationRecord",
+    "HandlerInterpreter",
+]

@@ -1,0 +1,58 @@
+"""Continuation records.
+
+A continuation captures "the program position, as well as local
+variables" (Section 3).  After splitting, the program position is simply
+(handler, suspend-site); the locals are the suspend site's save set.
+
+Records are immutable so the model checker can hash protocol states that
+contain suspended continuations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ContinuationRecord:
+    """The runtime value bound by ``Suspend`` and consumed by ``Resume``.
+
+    - ``handler``: qualified name ``State.Message`` of the suspended
+      handler (identifies the fragment table);
+    - ``site_id``: which of that handler's suspend sites this is -- the
+      "function pointer" of Figure 10;
+    - ``saved``: the captured environment as (name, value) pairs;
+    - ``is_static``: True when the record came from a statically
+      allocated (shared, empty-environment) continuation.
+    """
+
+    handler: str
+    site_id: int
+    saved: tuple[tuple[str, object], ...]
+    is_static: bool = False
+
+    def environment(self) -> dict[str, object]:
+        return dict(self.saved)
+
+    def __repr__(self) -> str:
+        kind = "static" if self.is_static else "heap"
+        return f"<cont {self.handler}#{self.site_id} {kind} {dict(self.saved)!r}>"
+
+
+# Statically allocated continuations are shared: one record per suspend
+# site, interned here so identity comparisons and hashing are cheap.
+_STATIC_CACHE: dict[tuple[str, int], ContinuationRecord] = {}
+
+
+def make_continuation(handler: str, site_id: int,
+                      saved: tuple[tuple[str, object], ...],
+                      is_static: bool) -> ContinuationRecord:
+    """Create (or reuse, for static sites) a continuation record."""
+    if is_static and not saved:
+        key = (handler, site_id)
+        record = _STATIC_CACHE.get(key)
+        if record is None:
+            record = ContinuationRecord(handler, site_id, (), True)
+            _STATIC_CACHE[key] = record
+        return record
+    return ContinuationRecord(handler, site_id, saved, is_static)

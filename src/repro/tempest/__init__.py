@@ -1,0 +1,26 @@
+"""A Tempest-interface multiprocessor simulator.
+
+The paper runs its protocols on Blizzard-E (a CM-5 implementation of the
+Tempest interface) and, for the analysis in Section 6, on "a detailed
+architectural simulator of a multiprocessor that implements the Tempest
+interface".  This package is that class of substrate: fine-grain access
+control, user-level message passing, and per-block protocol dispatch,
+with an explicit cycle cost model.
+"""
+
+from repro.tempest.machine import Machine, MachineConfig, SimResult
+from repro.tempest.network import Network, NetworkConfig
+from repro.tempest.memory import AccessTag, BlockStore
+from repro.tempest.stats import MachineStats, NodeStats
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "SimResult",
+    "Network",
+    "NetworkConfig",
+    "AccessTag",
+    "BlockStore",
+    "MachineStats",
+    "NodeStats",
+]

@@ -1,0 +1,217 @@
+"""The simulated multiprocessor: event loop, network, and barriers.
+
+Discrete-event simulation with a single global event queue.  Events are
+message deliveries and application-thread continuations; each node's
+``busy_until`` serialises the work mapped onto its single processor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.lang.errors import RuntimeProtocolError
+from repro.runtime.context import CostModel, Message
+from repro.runtime.protocol import CompiledProtocol
+from repro.tempest.memory import AccessTag
+from repro.tempest.network import Network, NetworkConfig
+from repro.tempest.node import Node
+from repro.tempest.stats import MachineStats
+
+
+@dataclass
+class MachineConfig:
+    """Configuration of the simulated machine."""
+
+    n_nodes: int = 8
+    n_blocks: int = 64
+    block_words: int = 4
+    costs: CostModel = field(default_factory=CostModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    max_events: int = 5_000_000
+    capture_prints: bool = False
+    # Optional custom home mapping (block -> node); default is striping.
+    home_map: Optional[Callable[[int], int]] = None
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulated run."""
+
+    stats: MachineStats
+    cycles: int
+
+    def __repr__(self) -> str:
+        return f"<SimResult {self.stats.summary()}>"
+
+
+class Machine:
+    """A multiprocessor running one compiled protocol and one program
+    per node."""
+
+    def __init__(self, protocol: CompiledProtocol, programs: list[list],
+                 config: Optional[MachineConfig] = None,
+                 support: Optional[dict] = None):
+        self.protocol = protocol
+        self.config = config or MachineConfig()
+        if len(programs) != self.config.n_nodes:
+            raise ValueError(
+                f"need {self.config.n_nodes} programs, got {len(programs)}")
+        self.support = support or {}
+        self.network = Network(self.config.network)
+        self.printed: list = []
+        self._events: list = []
+        self._seq = 0
+        self._barrier_waiting: list[tuple[int, int]] = []  # (node, time)
+        self.nodes = [
+            Node(self, node_id, protocol, programs[node_id])
+            for node_id in range(self.config.n_nodes)
+        ]
+
+    # -- topology ---------------------------------------------------------
+
+    def home_of(self, block: int) -> int:
+        if self.config.home_map is not None:
+            return self.config.home_map(block)
+        return block % self.config.n_nodes
+
+    def initial_state_for(self, node: int, block: int):
+        """(state, info, access) for a block record created on ``node``."""
+        protocol = self.protocol
+        if self.home_of(block) == node:
+            return (protocol.initial_home_state, protocol.initial_info(),
+                    AccessTag.READ_WRITE)
+        return (protocol.initial_cache_state, protocol.initial_info(),
+                AccessTag.INVALID)
+
+    # -- event queue ---------------------------------------------------------
+
+    def _push(self, time: int, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, payload))
+
+    def inject(self, message: Message, send_time: int) -> None:
+        """Called by node contexts to transmit a protocol message."""
+        arrival = self.network.arrival_time(message, send_time)
+        self._push(arrival, "deliver", message)
+
+    def schedule_app(self, node_id: int, at_time: int) -> None:
+        self._push(at_time, "app", node_id)
+
+    # -- barriers ----------------------------------------------------------------
+
+    def barrier_arrive(self, node_id: int, at_time: int) -> bool:
+        """Returns True if this arrival releases the barrier (caller
+        continues synchronously); otherwise the node waits."""
+        self._barrier_waiting.append((node_id, at_time))
+        active = [n for n in self.nodes if not n.finished]
+        if len(self._barrier_waiting) < len(active):
+            return False
+        release_time = max(t for _n, t in self._barrier_waiting)
+        for waiting_id, arrive_time in self._barrier_waiting:
+            node = self.nodes[waiting_id]
+            node.at_barrier = False
+            node.stats.barrier_wait_cycles += release_time - arrive_time
+            if waiting_id != node_id:
+                node.busy_until = max(node.busy_until, release_time)
+                self.schedule_app(waiting_id, release_time)
+        self._barrier_waiting = []
+        self.nodes[node_id].busy_until = max(
+            self.nodes[node_id].busy_until, release_time)
+        return True
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Run to completion; raises on protocol error or deadlock."""
+        for node_id in range(self.config.n_nodes):
+            self.schedule_app(node_id, 0)
+
+        processed = 0
+        while self._events:
+            processed += 1
+            if processed > self.config.max_events:
+                raise RuntimeProtocolError(
+                    f"simulation exceeded {self.config.max_events} events; "
+                    "livelock?")
+            time, _seq, kind, payload = heapq.heappop(self._events)
+            if kind == "deliver":
+                message: Message = payload
+                self.nodes[message.dst].handle_message(message, time)
+            elif kind == "app":
+                self.nodes[payload].run_app(time)
+            else:  # pragma: no cover - exhaustive over event kinds
+                raise RuntimeProtocolError(f"unknown event {kind!r}")
+
+        self._check_deadlock()
+        return SimResult(stats=self._collect_stats(),
+                         cycles=self._execution_time())
+
+    def _check_deadlock(self) -> None:
+        stuck = [n for n in self.nodes if not n.finished]
+        if not stuck:
+            return
+        details = []
+        for node in stuck:
+            if node.blocked_on is not None:
+                record = node.store.record(node.blocked_on)
+                details.append(
+                    f"node {node.node_id} blocked on block "
+                    f"{node.blocked_on} (state {record.state_name})")
+            elif node.at_barrier:
+                details.append(f"node {node.node_id} waiting at a barrier")
+            else:
+                details.append(
+                    f"node {node.node_id} stalled at op {node.pc}")
+        raise RuntimeProtocolError(
+            "deadlock: no events pending but nodes are unfinished: "
+            + "; ".join(details))
+
+    def _execution_time(self) -> int:
+        return max((n.busy_until for n in self.nodes), default=0)
+
+    def _collect_stats(self) -> MachineStats:
+        stats = MachineStats(nodes=[n.stats for n in self.nodes])
+        stats.execution_cycles = self._execution_time()
+        stats.messages = self.network.messages_carried
+        return stats
+
+    # -- post-run assertions (used by tests) -------------------------------------
+
+    def assert_quiescent(self) -> None:
+        """After a run: no transient states, no deferred messages."""
+        for node in self.nodes:
+            for record in node.store.records():
+                state = self.protocol.states[record.state_name]
+                if state.transient:
+                    raise AssertionError(
+                        f"node {node.node_id} block {record.block} ended in "
+                        f"transient state {record.state_name}")
+                if record.deferred:
+                    raise AssertionError(
+                        f"node {node.node_id} block {record.block} has "
+                        f"{len(record.deferred)} undelivered deferred "
+                        "messages")
+
+    def coherence_snapshot(self) -> dict[int, dict]:
+        """Access-tag view per block, for coherence invariant checks."""
+        view: dict[int, dict] = {}
+        for node in self.nodes:
+            for record in node.store.records():
+                entry = view.setdefault(record.block, {})
+                entry[node.node_id] = record.access
+        return view
+
+    def assert_coherent(self) -> None:
+        """Single-writer / multiple-reader invariant over access tags."""
+        for block, entry in self.coherence_snapshot().items():
+            writers = [n for n, a in entry.items() if a is AccessTag.READ_WRITE]
+            readers = [n for n, a in entry.items() if a is AccessTag.READ_ONLY]
+            if len(writers) > 1:
+                raise AssertionError(
+                    f"block {block} writable on nodes {writers}")
+            if writers and readers:
+                raise AssertionError(
+                    f"block {block} writable on {writers} while readable "
+                    f"on {readers}")

@@ -1,0 +1,47 @@
+"""The interconnection network: latency, and optional message reordering.
+
+Section 2 highlights that "message reordering in a network further adds
+to the complexity" of protocols; Section 7 limits the amount of
+reordering when model checking.  The simulated network supports both
+regimes: FIFO channels (per src->dst pair) and bounded random reordering
+driven by a seeded RNG, so simulations are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.runtime.context import Message
+
+
+@dataclass
+class NetworkConfig:
+    latency: int = 220       # base transit cycles
+    jitter: int = 0          # max extra random delay (enables reordering)
+    fifo: bool = True        # enforce per-channel FIFO delivery
+    seed: int = 12345
+
+
+class Network:
+    """Computes arrival times; the machine's event queue does delivery."""
+
+    def __init__(self, config: NetworkConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+        # Last scheduled arrival per (src, dst), for FIFO clamping.
+        self._last_arrival: dict[tuple[int, int], int] = {}
+        self.messages_carried = 0
+
+    def arrival_time(self, message: Message, send_time: int) -> int:
+        """When ``message``, injected at ``send_time``, reaches its target."""
+        delay = self.config.latency
+        if self.config.jitter > 0:
+            delay += self._rng.randrange(self.config.jitter + 1)
+        arrival = send_time + delay
+        if self.config.fifo:
+            channel = (message.src, message.dst)
+            arrival = max(arrival, self._last_arrival.get(channel, 0) + 1)
+            self._last_arrival[channel] = arrival
+        self.messages_carried += 1
+        return arrival

@@ -1,0 +1,360 @@
+"""A simulated processor node: protocol engine plus application thread.
+
+Each node owns a :class:`~repro.tempest.memory.BlockStore`, runs compiled
+protocol handlers through the shared interpreter, and executes its
+application program (a list of operations produced by
+:mod:`repro.workloads`).  Protocol processing and application execution
+share the node's single processor, serialised by ``busy_until``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.errors import RuntimeProtocolError
+from repro.runtime.context import Message, ProtocolContext
+from repro.runtime.exec import HandlerInterpreter
+from repro.tempest.memory import (
+    ACCESS_CHANGE_RESULT,
+    BlockStore,
+    fault_event_for,
+)
+from repro.tempest.stats import NodeStats
+
+
+class NodeContext(ProtocolContext):
+    """ProtocolContext implementation backed by a simulator node."""
+
+    def __init__(self, node: "Node"):
+        self._node = node
+        self._message: Optional[Message] = None
+        self.now = 0
+        self.counters = node.stats.counters
+        self.costs = node.machine.config.costs
+
+    def begin(self, message: Message, start_time: int) -> None:
+        """Position the context for one protocol action."""
+        self._message = message
+        self.now = start_time
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def node(self) -> int:
+        return self._node.node_id
+
+    @property
+    def current_message(self) -> Message:
+        assert self._message is not None
+        return self._message
+
+    def home_node(self, block: int) -> int:
+        return self._node.machine.home_of(block)
+
+    # -- block record --------------------------------------------------------
+
+    def _record(self):
+        return self._node.store.record(self.current_message.block)
+
+    def get_state(self) -> tuple[str, tuple]:
+        record = self._record()
+        return record.state_name, record.state_args
+
+    def set_state(self, state_name: str, args: tuple) -> None:
+        self._record().set_state(state_name, args)
+
+    def get_info(self, name: str):
+        return self._record().info[name]
+
+    def set_info(self, name: str, value) -> None:
+        self._record().info[name] = value
+
+    # -- Tempest mechanisms ------------------------------------------------------
+
+    def send(self, dst: int, tag: str, block: int, payload: tuple,
+             with_data: bool) -> None:
+        data = None
+        if with_data:
+            data = self._node.store.record(block).data
+            self.counters.data_messages_sent += 1
+        self.counters.messages_sent += 1
+        message = Message(tag, block, src=self._node.node_id, dst=dst,
+                          payload=payload, data=data)
+        self._node.machine.inject(message, self.now)
+
+    def access_change(self, block: int, mode: str) -> None:
+        tag = ACCESS_CHANGE_RESULT.get(mode)
+        if tag is None:
+            self.error(f"unknown access mode {mode!r}")
+            return
+        self._node.store.record(block).access = tag
+
+    def recv_data(self, block: int, mode: str) -> None:
+        message = self.current_message
+        if message.data is None:
+            self.error(
+                f"RecvData but message {message.tag} carries no data")
+            return
+        record = self._node.store.record(block)
+        record.data = message.data
+        self.access_change(block, mode)
+
+    def read_word(self, block: int, addr: int):
+        data = self._node.store.record(block).data
+        if not (0 <= addr < len(data)):
+            self.error(f"ReadWord offset {addr} out of block bounds")
+            return 0
+        return data[addr]
+
+    def write_word(self, block: int, addr: int, value) -> None:
+        record = self._node.store.record(block)
+        if not (0 <= addr < len(record.data)):
+            self.error(f"WriteWord offset {addr} out of block bounds")
+            return
+        data = list(record.data)
+        data[addr] = value
+        record.data = tuple(data)
+
+    def enqueue_current(self) -> None:
+        self.counters.queue_allocs += 1
+        self._record().defer(self.current_message)
+
+    def retry_queued(self, block: int) -> None:
+        self._node.store.record(block).state_changed = True
+
+    def wakeup(self, block: int) -> None:
+        self._node.request_wakeup(block, self.now)
+
+    def error(self, message: str) -> None:
+        self.counters.errors += 1
+        raise RuntimeProtocolError(
+            f"[node {self._node.node_id} t={self.now}] {message}")
+
+    def debug_print(self, values: list) -> None:
+        if self._node.machine.config.capture_prints:
+            self._node.machine.printed.append(
+                (self._node.node_id, self.now, tuple(values)))
+
+    def support_call(self, name: str, args: list):
+        registry = self._node.machine.support
+        fn = registry.get(name)
+        if fn is None:
+            return super().support_call(name, args)
+        return fn(self, *args)
+
+    def support_const(self, name: str):
+        registry = self._node.machine.support
+        if name not in registry:
+            return super().support_const(name)
+        return registry[name]
+
+    # -- accounting -----------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        self.now += cycles
+
+
+class Node:
+    """One simulated processor."""
+
+    def __init__(self, machine, node_id: int, protocol, program: list):
+        self.machine = machine
+        self.node_id = node_id
+        self.protocol = protocol
+        self.program = program
+        self.pc = 0
+        self.busy_until = 0
+        self.blocked_on: Optional[int] = None
+        self.fault_start = 0
+        self.wake_pending = False
+        self._in_app_fault = False
+        self._pending_access: Optional[tuple] = None  # faulted read/write op
+        self.at_barrier = False
+        self.finished = not program
+        self.observed: list[tuple[int, object]] = []  # logged read values
+        self.stats = NodeStats(node_id)
+        self.store = BlockStore(
+            node_id,
+            machine.config.n_blocks,
+            machine.config.block_words,
+            machine.initial_state_for,
+            machine.home_of,
+        )
+        self.ctx = NodeContext(self)
+        self.interp = HandlerInterpreter(protocol, self.ctx)
+
+    # -- protocol-side execution ----------------------------------------------
+
+    def handle_message(self, message: Message, arrive_time: int) -> None:
+        """Run one delivered message (plus any queue redelivery) atomically."""
+        start = max(arrive_time, self.busy_until)
+        end = self._protocol_action(message, start)
+        self.busy_until = end
+        self.stats.protocol_cycles += end - start
+
+    def _protocol_action(self, message: Message, start: int) -> int:
+        """Dispatch ``message`` then redeliver deferred messages enabled by
+        any state change.  Returns the finishing time."""
+        record = self.store.record(message.block)
+        record.state_changed = False
+        self.ctx.begin(message, start)
+        self.interp.dispatch()
+        now = self.ctx.now
+
+        # Queue redelivery: each state change re-enables the deferred
+        # messages queued while the block sat in an intermediate state.
+        while record.state_changed and record.deferred:
+            record.state_changed = False
+            for deferred in record.drain_deferred():
+                self.stats.counters.queue_frees += 1
+                now += self.machine.config.costs.queue_free
+                self.ctx.begin(deferred, now)
+                self.interp.dispatch()
+                now = self.ctx.now
+        return now
+
+    def request_wakeup(self, block: int, at_time: int) -> None:
+        """Protocol called WakeUp(block): unblock the app thread if it is
+        waiting on this block."""
+        if self.blocked_on != block:
+            return  # spurious wakeup; the paper's WakeUp is also a no-op here
+        self.blocked_on = None
+        self.wake_pending = True
+        # Complete the faulted access *now*: the protocol handler that
+        # called WakeUp has just installed the data and access rights, so
+        # the restarted load/store succeeds at this instant.  (Deferring
+        # it to the app event would open an unbounded re-fault window when
+        # an invalidation lands in between -- a livelock the real Blizzard
+        # avoids the same way.)
+        self._complete_pending_access(block)
+        if not self._in_app_fault:
+            # Woken by a later message handler: resume the app thread via
+            # the event queue.  (Synchronous wakes continue inline.)
+            self.machine.schedule_app(self.node_id, at_time)
+
+    def _complete_pending_access(self, block: int) -> None:
+        op = self._pending_access
+        if op is None:
+            return
+        kind = op[0]
+        record = self.store.record(block)
+        fault = fault_event_for(record.access, kind == "write")
+        if fault is not None:
+            return  # access still insufficient: the op will re-fault
+        self._pending_access = None
+        if kind == "write":
+            self.stats.write_hits += 1
+            if len(op) > 2:
+                data = list(record.data)
+                data[0] = op[2]
+                record.data = tuple(data)
+        else:
+            self.stats.read_hits += 1
+            if len(op) > 2 and op[2] == "log":
+                self.observed.append((block, record.data[0]))
+        self.pc += 1
+
+    # -- application-side execution ----------------------------------------------
+
+    def run_app(self, start_time: int) -> None:
+        """Execute application operations until a blocking point."""
+        if self.finished:
+            return
+        if self.blocked_on is not None:
+            return  # still waiting on a fault
+        now = max(start_time, self.busy_until)
+        if self.wake_pending:
+            self.wake_pending = False
+            self.stats.fault_wait_cycles += max(0, now - self.fault_start)
+
+        config = self.machine.config
+        costs = config.costs
+        while self.pc < len(self.program):
+            op = self.program[self.pc]
+            kind = op[0]
+            if kind == "compute":
+                # Yield to the event queue for the duration: messages
+                # arriving during the computation must be handled before
+                # the next application operation sees the block
+                # (otherwise the app races ahead of the network in
+                # simulated time).  busy_until stays put, so protocol
+                # handlers interleave with the computation and push the
+                # resumption point out by the time they consume.
+                self.stats.app_cycles += op[1]
+                self.pc += 1
+                self.busy_until = now
+                self.machine.schedule_app(self.node_id, now + op[1])
+                return
+            elif kind in ("read", "write"):
+                block = op[1]
+                record = self.store.record(block)
+                fault = fault_event_for(record.access, kind == "write")
+                if fault is None:
+                    cost = costs.write_hit if kind == "write" else costs.read_hit
+                    now += cost
+                    if kind == "write":
+                        self.stats.write_hits += 1
+                        if len(op) > 2:  # ('write', block, value): store word 0
+                            data = list(record.data)
+                            data[0] = op[2]
+                            record.data = tuple(data)
+                    else:
+                        self.stats.read_hits += 1
+                        if len(op) > 2 and op[2] == "log":
+                            self.observed.append((block, record.data[0]))
+                    self.pc += 1
+                    continue
+                self._pending_access = op
+                now = self._take_fault(fault, block, (), now)
+                if self.blocked_on is not None:
+                    self.busy_until = now
+                    return
+                # Woken synchronously; the access completed (and pc
+                # advanced) inside request_wakeup.
+            elif kind == "event":
+                _kind, tag, block = op[0], op[1], op[2]
+                payload = op[3] if len(op) > 3 else ()
+                now = self._take_fault(tag, block, payload, now)
+                self.pc += 1  # events are not retried
+                if self.blocked_on is not None:
+                    self.busy_until = now
+                    return
+            elif kind == "barrier":
+                self.pc += 1
+                self.busy_until = now
+                released = self.machine.barrier_arrive(self.node_id, now)
+                if not released:
+                    self.at_barrier = True
+                    return
+                now = max(now, self.busy_until)
+            else:
+                raise RuntimeProtocolError(
+                    f"unknown application operation {op!r}")
+        self.finished = True
+        self.busy_until = now
+        self.stats.finish_time = now
+
+    def _take_fault(self, tag: str, block: int, payload: tuple,
+                    now: int) -> int:
+        """Trap into the protocol for an access fault or program event.
+
+        Blocks the app thread until the protocol calls WakeUp; the wake
+        may happen inside this very action (local satisfaction) or later
+        via a message handler.
+        """
+        self.stats.faults += 1
+        now += self.machine.config.costs.fault_trap
+        self.blocked_on = block
+        self.fault_start = now
+        message = Message(tag, block, src=self.node_id, dst=self.node_id,
+                          payload=payload)
+        self._in_app_fault = True
+        try:
+            end = self._protocol_action(message, now)
+        finally:
+            self._in_app_fault = False
+        self.stats.protocol_cycles += end - now
+        if self.blocked_on is None and self.wake_pending:
+            # Satisfied without suspending: no fault wait time.
+            self.wake_pending = False
+        return end

@@ -1,0 +1,41 @@
+"""Explicit-state model checking of compiled Teapot protocols.
+
+The paper compiles one Teapot source to both executable code and Mur-phi
+input, then model-checks by exhaustive state-space exploration
+(Section 7).  Mur-phi itself is not available offline, so this package
+implements the same class of checker from scratch: breadth-first
+exploration of all interleavings of protocol events and (boundedly
+reordered) message deliveries, checking that no handler raises an error,
+that no unexpected message arrives, that the system cannot deadlock, and
+that the single-writer/multiple-reader invariant holds.  Violations come
+with a full event trace, like Mur-phi's counterexamples.
+
+Crucially -- and this is the paper's point -- the checker consumes the
+*same* :class:`~repro.runtime.protocol.CompiledProtocol` the simulator
+executes, through the same interpreter.  The verified artifact is the
+executed artifact.
+"""
+
+from repro.verify.checker import CheckResult, ModelChecker, Violation
+from repro.verify.events import (
+    CasEvents,
+    EventGenerator,
+    EvictEvents,
+    BufferedWriteEvents,
+    LcmEvents,
+    StacheEvents,
+    events_for_protocol,
+)
+
+__all__ = [
+    "ModelChecker",
+    "CheckResult",
+    "Violation",
+    "EventGenerator",
+    "StacheEvents",
+    "CasEvents",
+    "EvictEvents",
+    "BufferedWriteEvents",
+    "LcmEvents",
+    "events_for_protocol",
+]

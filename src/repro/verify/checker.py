@@ -1,0 +1,385 @@
+"""The breadth-first state-space exploration engine.
+
+Mirrors Mur-phi's behaviour as used in the paper: explore all possible
+interleavings of protocol events (application-issued loads/stores/
+operations and message deliveries, the latter with bounded reordering),
+check invariants in every state, and produce a counterexample trace on
+failure.  Exploration is exhaustive up to ``max_states``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.context import Message
+from repro.runtime.exec import HandlerInterpreter
+from repro.runtime.protocol import CompiledProtocol
+from repro.verify.events import EventGenerator, StacheEvents
+from repro.verify.invariants import Invariant, standard_invariants
+from repro.verify.model import (
+    CheckerContext,
+    CheckerViolation,
+    GlobalState,
+    MutableState,
+    fault_for_access,
+    initial_global_state,
+)
+
+
+@dataclass
+class Violation:
+    """A safety violation with its counterexample trace."""
+
+    kind: str           # "error" | "deadlock" | "invariant" | "starvation"
+    message: str
+    trace: list[str]    # rule labels from the initial state
+    state: Optional[GlobalState] = None
+
+    def format_trace(self) -> str:
+        lines = [f"{self.kind.upper()}: {self.message}", "trace:"]
+        for step, label in enumerate(self.trace, 1):
+            lines.append(f"  {step:3d}. {label}")
+        if self.state is not None:
+            lines.append(f"final state: {self.state.summary()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a model-checking run (Table 3's raw material)."""
+
+    protocol_name: str
+    ok: bool
+    states_explored: int
+    transitions: int
+    max_depth: int
+    elapsed_seconds: float
+    violation: Optional[Violation] = None
+    n_nodes: int = 2
+    n_blocks: int = 1
+    reorder_bound: int = 0
+    hit_state_limit: bool = False
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        if self.hit_state_limit:
+            status += " (state limit reached)"
+        return (
+            f"{self.protocol_name}: {status}  states={self.states_explored} "
+            f"transitions={self.transitions} depth={self.max_depth} "
+            f"time={self.elapsed_seconds:.2f}s "
+            f"(nodes={self.n_nodes}, addrs={self.n_blocks}, "
+            f"reorder={self.reorder_bound})"
+        )
+
+
+class ModelChecker:
+    """Exhaustively checks a compiled protocol.
+
+    Parameters mirror Table 3's configurations: number of nodes, number
+    of shared addresses, and the network reordering bound (0 = FIFO
+    channels; k allows a message to be delivered ahead of up to k
+    earlier messages on its channel).
+    """
+
+    def __init__(
+        self,
+        protocol: CompiledProtocol,
+        n_nodes: int = 2,
+        n_blocks: int = 1,
+        reorder_bound: int = 0,
+        events: Optional[EventGenerator] = None,
+        invariants: Optional[list[Invariant]] = None,
+        max_states: int = 2_000_000,
+        channel_cap: int = 4,
+        interpreter_factory=HandlerInterpreter,
+        check_progress: bool = False,
+    ):
+        self.protocol = protocol
+        self.n_nodes = n_nodes
+        self.n_blocks = n_blocks
+        self.reorder_bound = reorder_bound
+        self.events = events if events is not None else StacheEvents()
+        self.invariants = (
+            invariants if invariants is not None else standard_invariants())
+        self.max_states = max_states
+        # Pluggable execution engine: the interpreter by default, or the
+        # Python back end's GeneratedProtocolRunner (the test suite uses
+        # this for behavioural-equivalence checks).
+        self.interpreter_factory = interpreter_factory
+        # Application rules are disabled while any channel holds this
+        # many messages -- the standard Mur-phi idiom for keeping a model
+        # with non-blocking operations finite.  Deliveries are never
+        # gated, so this cannot introduce spurious deadlocks.
+        self.channel_cap = channel_cap
+        # Progress checking (a liveness extension beyond the paper's
+        # safety checks): record the full transition graph and verify
+        # that from every reachable state, every blocked thread can
+        # still reach a state where it runs again.  Catches starvation
+        # bugs -- e.g. a nacked request that is never retried -- that
+        # no safety invariant sees.
+        self.check_progress = check_progress
+
+    def home_of(self, block: int) -> int:
+        return block % self.n_nodes
+
+    # -- rule application ---------------------------------------------------
+
+    def _run_action(self, mutable: MutableState, node: int,
+                    message: Message) -> CheckerContext:
+        """One atomic protocol action: dispatch plus queue redelivery."""
+        ctx = CheckerContext(self.protocol, mutable, node, self.home_of)
+        interp = self.interpreter_factory(self.protocol, ctx)
+        record = mutable.record(node, message.block)
+        record["state_changed"] = False
+        ctx.begin(message)
+        interp.dispatch()
+        while record["state_changed"] and record["queue"]:
+            record["state_changed"] = False
+            drained = record["queue"]
+            record["queue"] = []
+            for deferred in drained:
+                ctx.begin(deferred)
+                interp.dispatch()
+        return ctx
+
+    def _apply_app_op(self, state: GlobalState, node: int, op: tuple,
+                      new_gen: tuple) -> Optional[GlobalState]:
+        """Issue an application operation; returns the successor state."""
+        mutable = MutableState(state, self.n_nodes, self.n_blocks)
+        mutable.apps[node]["gen"] = new_gen
+        kind = op[0]
+        if kind in ("read", "write"):
+            block = op[1]
+            access = mutable.record(node, block)["access"]
+            fault = fault_for_access(access, kind == "write")
+            if fault is None:
+                return mutable.freeze()  # hit: only the generator advanced
+            mutable.apps[node]["blocked_on"] = block
+            message = Message(fault, block, src=node, dst=node)
+        else:  # program event (CAS, sync, LCM enter/exit, ...)
+            _kind, tag, block = op[0], op[1], op[2]
+            payload = op[3] if len(op) > 3 else ()
+            mutable.apps[node]["blocked_on"] = block
+            message = Message(tag, block, src=node, dst=node,
+                              payload=payload)
+        self._run_action(mutable, node, message)
+        return mutable.freeze()
+
+    def _apply_delivery(self, state: GlobalState, src: int, dst: int,
+                        index: int) -> GlobalState:
+        mutable = MutableState(state, self.n_nodes, self.n_blocks)
+        message = mutable.channels[src][dst].pop(index)
+        self._run_action(mutable, dst, message)
+        return mutable.freeze()
+
+    def _successors(self, state: GlobalState):
+        """Yield (label, successor) pairs; CheckerViolation propagates."""
+        # Application events (gated while the network or a deferred queue
+        # is congested, to keep the model finite -- see channel_cap).
+        congested = any(
+            len(channel) >= self.channel_cap
+            for row in state.channels for channel in row
+        ) or any(
+            len(view.queue) >= self.channel_cap
+            for node_blocks in state.blocks for view in node_blocks
+        )
+        for node in range(self.n_nodes):
+            if congested:
+                break
+            app = state.apps[node]
+            if app.blocked_on is not None:
+                continue
+            for choice in self.events.choices(app.gen, node, self.n_blocks):
+                try:
+                    successor = self._apply_app_op(
+                        state, node, choice.op, choice.new_gen)
+                except CheckerViolation as violation:
+                    raise _LabelledViolation(choice.label, violation.message)
+                yield choice.label, successor
+        # Message deliveries (with bounded reordering).
+        for src in range(self.n_nodes):
+            for dst in range(self.n_nodes):
+                channel = state.channel(src, dst)
+                limit = min(len(channel), self.reorder_bound + 1)
+                for index in range(limit):
+                    label = (f"deliver {channel[index].tag} "
+                             f"{src}->{dst}[{index}] blk="
+                             f"{channel[index].block}")
+                    try:
+                        successor = self._apply_delivery(
+                            state, src, dst, index)
+                    except CheckerViolation as violation:
+                        raise _LabelledViolation(label, violation.message)
+                    yield label, successor
+
+    # -- search -------------------------------------------------------------
+
+    def run(self) -> CheckResult:
+        """Breadth-first exploration from the initial state."""
+        start_time = time.perf_counter()
+        initial = initial_global_state(
+            self.protocol, self.n_nodes, self.n_blocks, self.home_of,
+            self.events.initial)
+
+        visited: set[GlobalState] = {initial}
+        parents: dict[GlobalState, tuple[Optional[GlobalState], str]] = {
+            initial: (None, "<initial>")}
+        depth: dict[GlobalState, int] = {initial: 0}
+        frontier: deque[GlobalState] = deque([initial])
+        graph: dict[GlobalState, list[GlobalState]] = (
+            {initial: []} if self.check_progress else {})
+        transitions = 0
+        max_depth = 0
+        hit_limit = False
+
+        def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
+            return CheckResult(
+                protocol_name=self.protocol.name,
+                ok=ok,
+                states_explored=len(visited),
+                transitions=transitions,
+                max_depth=max_depth,
+                elapsed_seconds=time.perf_counter() - start_time,
+                violation=violation,
+                n_nodes=self.n_nodes,
+                n_blocks=self.n_blocks,
+                reorder_bound=self.reorder_bound,
+                hit_state_limit=hit_limit,
+            )
+
+        def trace_to(state: GlobalState, last_label: str) -> list[str]:
+            labels: list[str] = []
+            cursor: Optional[GlobalState] = state
+            while cursor is not None:
+                parent, label = parents[cursor]
+                if parent is not None:
+                    labels.append(label)
+                cursor = parent
+            labels.reverse()
+            labels.append(last_label)
+            return labels
+
+        violation = self._check_invariants(initial)
+        if violation is not None:
+            return result(False, Violation(
+                "invariant", violation, ["<initial>"], initial))
+
+        while frontier:
+            state = frontier.popleft()
+            found_successor = False
+            try:
+                for label, successor in self._successors(state):
+                    transitions += 1
+                    found_successor = True
+                    if self.check_progress:
+                        graph[state].append(successor)
+                    if successor in visited:
+                        continue
+                    if len(visited) >= self.max_states:
+                        hit_limit = True
+                        return result(True, None)
+                    visited.add(successor)
+                    parents[successor] = (state, label)
+                    if self.check_progress:
+                        graph.setdefault(successor, [])
+                    depth[successor] = depth[state] + 1
+                    max_depth = max(max_depth, depth[successor])
+                    message = self._check_invariants(successor)
+                    if message is not None:
+                        return result(False, Violation(
+                            "invariant", message,
+                            trace_to(state, label), successor))
+                    frontier.append(successor)
+            except _LabelledViolation as labelled:
+                return result(False, Violation(
+                    "error", labelled.message,
+                    trace_to(state, labelled.label), state))
+            if not found_successor:
+                _, last_label = parents[state]
+                return result(False, Violation(
+                    "deadlock",
+                    "no rule enabled: all nodes blocked and no messages "
+                    "in flight",
+                    trace_to(state, "<stuck>"), state))
+
+        if self.check_progress:
+            violation = self._check_progress(graph, parents)
+            if violation is not None:
+                return result(False, violation)
+        return result(True, None)
+
+    def _check_progress(self, graph, parents) -> Optional[Violation]:
+        """Liveness: from every reachable state, every blocked thread
+        must be able to reach a state where it is running again.
+
+        Computed per node by backward reachability from the states where
+        that node is unblocked; any reachable state outside that set is
+        a starvation witness (the thread can *never* be woken along any
+        continuation of the run)."""
+        # Reverse adjacency once.
+        reverse: dict[GlobalState, list[GlobalState]] = {
+            state: [] for state in graph}
+        for state, successors in graph.items():
+            for successor in successors:
+                reverse[successor].append(state)
+
+        for node in range(self.n_nodes):
+            can_recover = {
+                state for state in graph
+                if state.apps[node].blocked_on is None
+            }
+            frontier = deque(can_recover)
+            while frontier:
+                state = frontier.popleft()
+                for predecessor in reverse[state]:
+                    if predecessor not in can_recover:
+                        can_recover.add(predecessor)
+                        frontier.append(predecessor)
+            stuck = [s for s in graph if s not in can_recover]
+            if stuck:
+                # Report the shallowest witness for a short trace.
+                witness = min(
+                    stuck,
+                    key=lambda s: len(self._trace_via_parents(s, parents)))
+                trace = self._trace_via_parents(witness, parents)
+                return Violation(
+                    "starvation",
+                    f"node {node} is blocked on block "
+                    f"{witness.apps[node].blocked_on} and no reachable "
+                    "continuation of the run ever wakes it",
+                    trace + ["<thread lost>"],
+                    witness,
+                )
+        return None
+
+    @staticmethod
+    def _trace_via_parents(state, parents) -> list[str]:
+        labels: list[str] = []
+        cursor = state
+        while cursor is not None:
+            parent, label = parents[cursor]
+            if parent is not None:
+                labels.append(label)
+            cursor = parent
+        labels.reverse()
+        return labels
+
+    def _check_invariants(self, state: GlobalState) -> Optional[str]:
+        for invariant in self.invariants:
+            message = invariant(state, self.protocol)
+            if message is not None:
+                return message
+        return None
+
+
+class _LabelledViolation(Exception):
+    """Internal: a CheckerViolation tagged with the rule that raised it."""
+
+    def __init__(self, label: str, message: str):
+        super().__init__(message)
+        self.label = label
+        self.message = message

@@ -1,0 +1,288 @@
+"""The checker's global-state model and its ProtocolContext.
+
+A :class:`GlobalState` is an immutable, hashable snapshot of the whole
+machine: every node's view of every block (protocol state, info record,
+access tag, deferred queue), every network channel's contents, and every
+node's application status.  Rules execute against a :class:`MutableState`
+working copy through :class:`CheckerContext`, then freeze the result.
+
+The paper's configuration -- "a minimal machine with 2 processor nodes
+and 2 shared memory addresses ... our verifications did not test actual
+data values" -- is the default here too; block data is not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.context import Message, ProtocolContext, RuntimeCounters, ZERO_COSTS
+from repro.runtime.protocol import CompiledProtocol
+from repro.tempest.memory import ACCESS_CHANGE_RESULT, AccessTag, fault_event_for
+
+
+@dataclass(frozen=True)
+class BlockView:
+    """One node's frozen view of one block."""
+
+    state_name: str
+    state_args: tuple
+    info: tuple          # sorted (name, value) pairs
+    access: str          # AccessTag.value
+    queue: tuple         # deferred Messages
+
+
+@dataclass(frozen=True)
+class AppView:
+    """One node's frozen application status."""
+
+    blocked_on: Optional[int]
+    gen: tuple           # event-generator-specific state
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A hashable snapshot of the entire verified system."""
+
+    blocks: tuple        # blocks[node][block] -> BlockView
+    apps: tuple          # apps[node] -> AppView
+    channels: tuple      # channels[src][dst] -> tuple[Message, ...]
+
+    def channel(self, src: int, dst: int) -> tuple:
+        return self.channels[src][dst]
+
+    def messages_in_flight(self) -> int:
+        return sum(
+            len(channel) for row in self.channels for channel in row)
+
+    def summary(self) -> str:
+        parts = []
+        for node, node_blocks in enumerate(self.blocks):
+            for block, view in enumerate(node_blocks):
+                parts.append(f"n{node}b{block}:{view.state_name}")
+        blocked = [
+            f"n{n}!b{a.blocked_on}" for n, a in enumerate(self.apps)
+            if a.blocked_on is not None
+        ]
+        inflight = self.messages_in_flight()
+        text = " ".join(parts)
+        if blocked:
+            text += "  blocked: " + ",".join(blocked)
+        if inflight:
+            text += f"  in-flight: {inflight}"
+        return text
+
+
+class MutableState:
+    """A working copy of a :class:`GlobalState` that rules mutate."""
+
+    def __init__(self, state: GlobalState, n_nodes: int, n_blocks: int):
+        self.n_nodes = n_nodes
+        self.n_blocks = n_blocks
+        self.block_state = [
+            [
+                {
+                    "state_name": view.state_name,
+                    "state_args": view.state_args,
+                    "info": dict(view.info),
+                    "access": view.access,
+                    "queue": list(view.queue),
+                    "state_changed": False,
+                }
+                for view in node_blocks
+            ]
+            for node_blocks in state.blocks
+        ]
+        self.apps = [
+            {"blocked_on": app.blocked_on, "gen": app.gen}
+            for app in state.apps
+        ]
+        self.channels = [
+            [list(channel) for channel in row] for row in state.channels
+        ]
+
+    def freeze(self) -> GlobalState:
+        return GlobalState(
+            blocks=tuple(
+                tuple(
+                    BlockView(
+                        state_name=rec["state_name"],
+                        state_args=rec["state_args"],
+                        info=tuple(sorted(rec["info"].items())),
+                        access=rec["access"],
+                        queue=tuple(rec["queue"]),
+                    )
+                    for rec in node_blocks
+                )
+                for node_blocks in self.block_state
+            ),
+            apps=tuple(
+                AppView(blocked_on=app["blocked_on"], gen=app["gen"])
+                for app in self.apps
+            ),
+            channels=tuple(
+                tuple(tuple(channel) for channel in row)
+                for row in self.channels
+            ),
+        )
+
+    def record(self, node: int, block: int) -> dict:
+        return self.block_state[node][block]
+
+
+class CheckerViolation(Exception):
+    """Raised inside a rule when a protocol error fires; aborts the rule."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class CheckerContext(ProtocolContext):
+    """ProtocolContext over a MutableState (no costs, no data values)."""
+
+    def __init__(self, protocol: CompiledProtocol, state: MutableState,
+                 node: int, home_of):
+        self.protocol = protocol
+        self.state = state
+        self._node = node
+        self._home_of = home_of
+        self._message: Optional[Message] = None
+        self.counters = RuntimeCounters()
+        self.costs = ZERO_COSTS
+        self.woken: list[int] = []
+
+    def begin(self, message: Message) -> None:
+        self._message = message
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def node(self) -> int:
+        return self._node
+
+    @property
+    def current_message(self) -> Message:
+        assert self._message is not None
+        return self._message
+
+    def home_node(self, block: int) -> int:
+        return self._home_of(block)
+
+    # -- block record --------------------------------------------------------
+
+    def _record(self) -> dict:
+        return self.state.record(self._node, self.current_message.block)
+
+    def get_state(self) -> tuple[str, tuple]:
+        record = self._record()
+        return record["state_name"], record["state_args"]
+
+    def set_state(self, state_name: str, args: tuple) -> None:
+        record = self._record()
+        if (state_name, args) != (record["state_name"], record["state_args"]):
+            record["state_changed"] = True
+        record["state_name"] = state_name
+        record["state_args"] = args
+
+    def get_info(self, name: str):
+        return self._record()["info"][name]
+
+    def set_info(self, name: str, value) -> None:
+        self._record()["info"][name] = value
+
+    # -- Tempest mechanisms ------------------------------------------------------
+
+    def send(self, dst: int, tag: str, block: int, payload: tuple,
+             with_data: bool) -> None:
+        self.counters.messages_sent += 1
+        message = Message(tag, block, src=self._node, dst=dst,
+                          payload=payload, data=() if with_data else None)
+        self.state.channels[self._node][dst].append(message)
+
+    def access_change(self, block: int, mode: str) -> None:
+        tag = ACCESS_CHANGE_RESULT.get(mode)
+        if tag is None:
+            self.error(f"unknown access mode {mode!r}")
+            return
+        self.state.record(self._node, block)["access"] = tag.value
+
+    def recv_data(self, block: int, mode: str) -> None:
+        if self.current_message.data is None:
+            self.error(
+                f"RecvData but message {self.current_message.tag} "
+                "carries no data")
+            return
+        self.access_change(block, mode)
+
+    def read_word(self, block: int, addr: int):
+        return 0  # data values are not modelled (Section 7)
+
+    def write_word(self, block: int, addr: int, value) -> None:
+        pass
+
+    def enqueue_current(self) -> None:
+        self.counters.queue_allocs += 1
+        self._record()["queue"].append(self.current_message)
+
+    def retry_queued(self, block: int) -> None:
+        self.state.record(self._node, block)["state_changed"] = True
+
+    def wakeup(self, block: int) -> None:
+        app = self.state.apps[self._node]
+        if app["blocked_on"] == block:
+            app["blocked_on"] = None
+            self.woken.append(block)
+
+    def error(self, message: str) -> None:
+        raise CheckerViolation(message)
+
+    def debug_print(self, values: list) -> None:
+        pass
+
+    def support_call(self, name: str, args: list):
+        raise CheckerViolation(
+            f"support routine {name!r} has no checker model")
+
+    def support_const(self, name: str):
+        raise CheckerViolation(
+            f"abstract constant {name!r} has no checker model")
+
+    def charge(self, cycles: int) -> None:
+        pass
+
+
+def initial_global_state(protocol: CompiledProtocol, n_nodes: int,
+                         n_blocks: int, home_of, gen_initial) -> GlobalState:
+    """Build the starting state: home blocks idle/RW, caches invalid."""
+    blocks = []
+    for node in range(n_nodes):
+        node_blocks = []
+        for block in range(n_blocks):
+            if home_of(block) == node:
+                state_name = protocol.initial_home_state
+                access = AccessTag.READ_WRITE.value
+            else:
+                state_name = protocol.initial_cache_state
+                access = AccessTag.INVALID.value
+            node_blocks.append(BlockView(
+                state_name=state_name,
+                state_args=(),
+                info=tuple(sorted(protocol.initial_info().items())),
+                access=access,
+                queue=(),
+            ))
+        blocks.append(tuple(node_blocks))
+    apps = tuple(
+        AppView(blocked_on=None, gen=gen_initial(node))
+        for node in range(n_nodes)
+    )
+    channels = tuple(
+        tuple(() for _dst in range(n_nodes)) for _src in range(n_nodes)
+    )
+    return GlobalState(blocks=tuple(blocks), apps=apps, channels=channels)
+
+
+def fault_for_access(access_value: str, is_write: bool) -> Optional[str]:
+    """Which fault a load/store raises given a frozen access value."""
+    return fault_event_for(AccessTag(access_value), is_write)

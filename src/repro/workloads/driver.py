@@ -1,0 +1,63 @@
+"""Runs a workload on the simulated machine and collects Table 1/2 rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.protocol import CompiledProtocol
+from repro.tempest.machine import Machine, MachineConfig
+from repro.tempest.stats import MachineStats
+
+
+@dataclass
+class WorkloadResult:
+    """One cell of Table 1 or Table 2."""
+
+    workload: str
+    protocol: str
+    opt_level: str
+    cycles: int
+    cont_allocs: int
+    queue_allocs: int
+    fault_time_fraction: float
+    stats: MachineStats
+
+    @property
+    def alloc_records(self) -> int:
+        return self.cont_allocs + self.queue_allocs
+
+    def overhead_vs(self, baseline: "WorkloadResult") -> float:
+        """Percentage slowdown relative to ``baseline`` (the C column)."""
+        if baseline.cycles == 0:
+            return 0.0
+        return 100.0 * (self.cycles - baseline.cycles) / baseline.cycles
+
+
+def run_workload(
+    protocol: CompiledProtocol,
+    workload_name: str,
+    programs: list,
+    n_blocks: int,
+    n_nodes: int | None = None,
+    config: MachineConfig | None = None,
+) -> WorkloadResult:
+    """Simulate ``programs`` under ``protocol``; returns the table cell."""
+    if config is None:
+        config = MachineConfig(
+            n_nodes=n_nodes if n_nodes is not None else len(programs),
+            n_blocks=n_blocks,
+        )
+    machine = Machine(protocol, programs, config)
+    result = machine.run()
+    machine.assert_quiescent()
+    counters = result.stats.counters
+    return WorkloadResult(
+        workload=workload_name,
+        protocol=protocol.name,
+        opt_level=protocol.opt_level.name,
+        cycles=result.cycles,
+        cont_allocs=counters.cont_allocs,
+        queue_allocs=counters.queue_allocs,
+        fault_time_fraction=result.stats.fault_time_fraction,
+        stats=result.stats,
+    )

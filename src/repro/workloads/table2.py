@@ -1,0 +1,101 @@
+"""Reference generators for the LCM benchmarks of Table 2.
+
+LCM applications alternate consistent phases with loose (LCM) phases:
+each participating node enters the phase on the blocks it will touch,
+obtains private copies, computes, and reconciles on exit.
+
+- **adaptive** -- adaptive refinement: an irregular, iteration-varying
+  subset of blocks is refined by a random subset of nodes.
+- **stencil** -- a regular grid relaxation run under copy-in/copy-out
+  semantics: every node works on its own block and reads neighbours'
+  reconciled values between phases.
+- **unstruct** -- an unstructured mesh: many nodes share each block
+  inside a phase (the heaviest reconciliation traffic; the paper's
+  worst-overhead benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+
+Program = list
+
+
+def _enter(program: Program, block: int) -> None:
+    program.append(("event", "ENTER_LCM_FAULT", block))
+
+
+def _exit(program: Program, block: int) -> None:
+    program.append(("event", "EXIT_LCM_FAULT", block))
+
+
+def adaptive_programs(n_nodes: int = 16, phases: int = 4,
+                      n_blocks: int = 8, seed: int = 21) -> list[Program]:
+    """Irregular refinement: random node subsets refine random blocks."""
+    rng = random.Random(seed)
+    programs: list[Program] = [[] for _ in range(n_nodes)]
+    for _phase in range(phases):
+        # Every node participates on one randomly chosen block.
+        choices = [rng.randrange(n_blocks) for _ in range(n_nodes)]
+        for node, program in enumerate(programs):
+            block = choices[node]
+            _enter(program, block)
+            program.append(("compute", 120))
+            program.append(("write", block, node))
+            program.append(("compute", 400 + rng.randrange(150)))
+            program.append(("read", block))
+            _exit(program, block)
+            program.append(("barrier",))
+        # A consistent interlude: read the reconciled values.
+        for node, program in enumerate(programs):
+            program.append(("read", choices[node]))
+            program.append(("compute", 200))
+            program.append(("barrier",))
+    return programs
+
+
+def stencil_programs(n_nodes: int = 16, phases: int = 4,
+                     seed: int = 22) -> list[Program]:
+    """Grid relaxation with copy-in/copy-out phases."""
+    rng = random.Random(seed)
+    programs: list[Program] = [[] for _ in range(n_nodes)]
+    for _phase in range(phases):
+        for node, program in enumerate(programs):
+            block = node  # one grid block per node
+            _enter(program, block)
+            program.append(("write", block, node))
+            program.append(("compute", 600 + rng.randrange(100)))
+            _exit(program, block)
+            program.append(("barrier",))
+        # Between phases, read the neighbours' reconciled blocks.
+        for node, program in enumerate(programs):
+            program.append(("read", (node - 1) % n_nodes))
+            program.append(("read", (node + 1) % n_nodes))
+            program.append(("compute", 300))
+            program.append(("barrier",))
+    return programs
+
+
+def unstruct_programs(n_nodes: int = 16, phases: int = 4,
+                      n_blocks: int = 4, seed: int = 23) -> list[Program]:
+    """Unstructured mesh: many nodes share each block inside a phase."""
+    rng = random.Random(seed)
+    programs: list[Program] = [[] for _ in range(n_nodes)]
+    for _phase in range(phases):
+        for node, program in enumerate(programs):
+            block = rng.randrange(n_blocks)
+            _enter(program, block)
+            program.append(("read", block))
+            program.append(("compute", 80))
+            program.append(("write", block, node))
+            program.append(("compute", 120))
+            _exit(program, block)
+            program.append(("barrier",))
+    return programs
+
+
+LCM_WORKLOADS = {
+    "adaptive": (adaptive_programs, lambda n: 8),
+    "stencil": (stencil_programs, lambda n: n),
+    "unstruct": (unstruct_programs, lambda n: 4),
+}

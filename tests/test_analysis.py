@@ -1,0 +1,119 @@
+"""Tests for the analysis module (state graphs, diffstat, LoC)."""
+
+from repro.analysis import (
+    build_state_graph,
+    count_loc,
+    loc_report,
+    protocol_diffstat,
+)
+from repro.protocols import compile_named_protocol
+
+from helpers import compile_mini
+
+
+class TestStateGraph:
+    def test_mini_graph(self):
+        graph = build_state_graph(compile_mini())
+        assert set(graph.states) == {
+            "Home_Idle", "Home_Wait", "Cache_Invalid", "Cache_Holding",
+            "Cache_Wait"}
+        assert set(graph.transient_states) == {"Home_Wait", "Cache_Wait"}
+        labels = {str(t) for t in graph.transitions}
+        assert any("Home_Idle ~~> Home_Wait" in label for label in labels)
+
+    def test_figure_2_idealized_home_machine(self):
+        """Contracting the transient states of the state-machine Stache
+        home side recovers Figure 2's three-state machine."""
+        graph = build_state_graph(compile_named_protocol("stache_sm"))
+        home = graph.restricted_to("Home_")
+        ideal = home.contracted()
+        assert set(ideal.states) == {"Home_Idle", "Home_RS", "Home_Excl"}
+        assert not ideal.transient_states
+
+    def test_figure_4_intermediate_state_explosion(self):
+        """The SM home side needs five intermediate states (Figure 4);
+        the Teapot version needs only two reusable subroutine states."""
+        sm_home = build_state_graph(
+            compile_named_protocol("stache_sm")).restricted_to("Home_")
+        teapot_home = build_state_graph(
+            compile_named_protocol("stache")).restricted_to("Home_")
+        assert len(sm_home.transient_states) == 5
+        assert len(teapot_home.transient_states) == 2
+        assert len(sm_home.states) > len(teapot_home.states)
+
+    def test_idealized_machines_agree(self):
+        """Both styles contract to the same idealized machine."""
+        def ideal(name):
+            graph = build_state_graph(compile_named_protocol(name))
+            return graph.restricted_to("Home_").contracted()
+
+        sm = ideal("stache_sm")
+        teapot = ideal("stache")
+        assert set(sm.states) == set(teapot.states)
+
+    def test_dot_output(self):
+        graph = build_state_graph(compile_mini())
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert '"Home_Idle"' in dot
+        assert "->" in dot
+
+    def test_summary_counts(self):
+        graph = build_state_graph(compile_mini())
+        assert "5 states" in graph.summary()
+        assert "2 transient" in graph.summary()
+
+
+class TestDiffStat:
+    def test_cas_extension_teapot(self):
+        diff = protocol_diffstat(compile_named_protocol("stache"),
+                                 compile_named_protocol("stache_cas"))
+        assert diff.added_states == ["Cache_Await_CAS"]
+        assert set(diff.added_messages) == {
+            "CAS_FAILURE", "CAS_FAULT", "CAS_SUCCESS", "COMPARE_N_SWAP"}
+        # Self-contained: no existing handler changes.
+        assert diff.modified_handlers == []
+        assert diff.added_info_vars == ["casResult"]
+
+    def test_cas_extension_state_machine(self):
+        """Figure 6's comparison: the SM retrofit must thread flags
+        through existing handlers."""
+        diff = protocol_diffstat(compile_named_protocol("stache_sm"),
+                                 compile_named_protocol("stache_cas_sm"))
+        assert len(diff.modified_handlers) >= 7
+        assert len(diff.added_info_vars) >= 6
+        teapot = protocol_diffstat(compile_named_protocol("stache"),
+                                   compile_named_protocol("stache_cas"))
+        assert diff.touch_points > teapot.touch_points
+
+    def test_identical_protocols_diff_empty(self):
+        a = compile_named_protocol("stache")
+        b = compile_named_protocol("stache")
+        diff = protocol_diffstat(a, b)
+        assert diff.touch_points == 0
+        assert not diff.added_states
+
+    def test_summary_text(self):
+        diff = protocol_diffstat(compile_named_protocol("stache"),
+                                 compile_named_protocol("stache_cas"))
+        assert "touch points" in diff.summary()
+
+
+class TestLoc:
+    def test_count_loc_skips_comments_and_blanks(self):
+        text = "\n".join([
+            "-- comment", "", "real := 1;", "  -- indented comment",
+            "also := 2;", "/* block */",
+        ])
+        assert count_loc(text) == 2
+
+    def test_report_shape(self):
+        rows = loc_report(("stache",))
+        (row,) = rows
+        assert row.teapot_lines > 200
+        assert row.generated_c_lines > row.teapot_lines
+        assert row.generated_murphi_lines > row.teapot_lines
+
+    def test_lcm_bigger_than_stache(self):
+        rows = {r.protocol: r for r in loc_report(("stache", "lcm"))}
+        assert rows["lcm"].teapot_lines > 1.5 * rows["stache"].teapot_lines

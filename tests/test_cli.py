@@ -1,0 +1,153 @@
+"""Tests for the ``teapot`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+from helpers import MINI_SOURCE
+
+
+@pytest.fixture
+def mini_file(tmp_path):
+    path = tmp_path / "mini.tea"
+    path.write_text(MINI_SOURCE)
+    return str(path)
+
+
+class TestCheck:
+    def test_valid_file(self, mini_file, capsys):
+        assert main(["check", mini_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.tea"
+        path.write_text("Protocol P Begin Message ; End;")
+        assert main(["check", str(path)]) == 1
+        assert "expected" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.tea"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_c_to_stdout(self, capsys):
+        assert main(["compile", "stache", "--target", "c"]) == 0
+        out = capsys.readouterr().out
+        assert "#include" in out
+
+    def test_compile_murphi_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "stache.m"
+        assert main(["compile", "stache", "--target", "murphi",
+                     "-o", str(out_path)]) == 0
+        assert "Startstate" in out_path.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_compile_python(self, capsys):
+        assert main(["compile", "stache", "--target", "python"]) == 0
+        assert "HANDLERS" in capsys.readouterr().out
+
+    def test_compile_tea_file(self, mini_file, capsys):
+        assert main(["compile", mini_file, "--target", "c"]) == 0
+        assert "STATE_Home_Idle" in capsys.readouterr().out
+
+    def test_opt_level_flag(self, capsys):
+        assert main(["info", "stache", "-O1"]) == 0
+        assert "opt=O1" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_registered_protocol(self, capsys):
+        assert main(["verify", "stache", "--reorder", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_verify_buffered_drops_coherence_invariant(self, capsys):
+        assert main(["verify", "buffered_write"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_reports_violation(self, tmp_path, capsys):
+        # Break both wakeups so every node can end up blocked: deadlock.
+        source = MINI_SOURCE.replace(
+            """  Message RD_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Send(HomeNode(id), GET_REQ, id);
+    Suspend(L, Cache_Wait{L});
+    WakeUp(id);
+  End;""",
+            """  Message RD_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Send(HomeNode(id), GET_REQ, id);
+    Suspend(L, Cache_Wait{L});
+  End;""", 1)
+        source = source.replace(
+            """      owner := Nobody;
+      AccessChange(id, Blk_Upgrade_RW);
+    Endif;
+    WakeUp(id);
+  End;
+
+  Message WR_FAULT""",
+            """      owner := Nobody;
+      AccessChange(id, Blk_Upgrade_RW);
+    Endif;
+  End;
+
+  Message WR_FAULT""", 1)
+        path = tmp_path / "buggy.tea"
+        path.write_text(source)
+        assert main(["verify", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "trace:" in out
+
+
+class TestGraphAndList:
+    def test_graph_text(self, capsys):
+        assert main(["graph", "stache", "--side", "Home_"]) == 0
+        out = capsys.readouterr().out
+        assert "Home_Idle" in out
+
+    def test_graph_contracted(self, capsys):
+        assert main(["graph", "stache_sm", "--side", "Home_",
+                     "--contract"]) == 0
+        out = capsys.readouterr().out
+        assert "3 states" in out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "stache", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stache", "lcm", "buffered_write"):
+            assert name in out
+
+    def test_info(self, capsys):
+        assert main(["info", "lcm"]) == 0
+        out = capsys.readouterr().out
+        assert "suspend sites" in out
+
+
+class TestFmt:
+    def test_fmt_outputs_canonical_form(self, mini_file, capsys):
+        assert main(["fmt", mini_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Protocol Mini")
+        # Canonical output re-parses and re-formats identically.
+        from repro.lang.parser import parse_program
+        from repro.lang.pretty import format_program
+        assert format_program(parse_program(out)) == out
+
+    def test_fmt_in_place(self, mini_file, capsys):
+        assert main(["fmt", mini_file, "-i"]) == 0
+        with open(mini_file) as handle:
+            text = handle.read()
+        assert text.startswith("Protocol Mini")
+        assert "formatted" in capsys.readouterr().out
+
+    def test_fmt_rejects_bad_source(self, tmp_path, capsys):
+        path = tmp_path / "bad.tea"
+        path.write_text("Protocol ;")
+        assert main(["fmt", str(path)]) == 1

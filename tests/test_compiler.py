@@ -1,0 +1,333 @@
+"""Unit tests for the compiler middle end: lowering, splitting, liveness,
+and the constant-continuation optimisation."""
+
+import pytest
+
+from repro.compiler.constcont import analyze_cont_flow, apply_constcont
+from repro.compiler.ir import (
+    TBranch,
+    TGoto,
+    TReturn,
+    TSuspend,
+)
+from repro.compiler.liveness import (
+    apply_liveness,
+    apply_save_all,
+    compute_liveness,
+)
+from repro.compiler.lower import lower_handler, lower_program
+from repro.compiler.pipeline import compile_source
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.runtime.protocol import Flavor, OptLevel
+
+from helpers import MINI_SOURCE, compile_mini
+
+TEMPLATE = """
+Protocol T
+Begin
+  Var owner : NODE;
+  Var count : INT;
+  State S {{}};
+  State W {{ C : CONT }} Transient;
+  Message M;
+  Message R;
+End;
+
+State T.S{{}}
+Begin
+  Message M (id : ID; Var info : INFO; src : NODE)
+  {locals}
+  Begin
+    {body}
+  End;
+End;
+
+State T.W{{C : CONT}}
+Begin
+  Message R (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Resume(C);
+  End;
+
+  Message DEFAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Enqueue(MessageTag, id, info, src);
+  End;
+End;
+"""
+
+
+def lower_body(body: str, local_decls: str = ""):
+    source = TEMPLATE.format(body=body, locals=local_decls)
+    checked = check_program(parse_program(source))
+    state = checked.program.state_def("S")
+    return lower_handler(checked, state, state.handlers[0]), checked
+
+
+class TestLowering:
+    def test_straight_line(self):
+        handler, _ = lower_body("count := 1;\nWakeUp(id);")
+        assert len(handler.blocks) == 1
+        entry = handler.blocks[handler.entry]
+        assert len(entry.ops) == 2
+        assert isinstance(entry.terminator, TReturn)
+
+    def test_if_produces_diamond(self):
+        handler, _ = lower_body(
+            "If (count > 0) Then count := 1; Else count := 2; Endif;\n"
+            "WakeUp(id);")
+        branches = [
+            b for b in handler.blocks.values()
+            if isinstance(b.terminator, TBranch)
+        ]
+        assert len(branches) == 1
+        true_b, false_b = branches[0].terminator.true_target, \
+            branches[0].terminator.false_target
+        assert true_b != false_b
+
+    def test_if_without_else(self):
+        handler, _ = lower_body("If (count > 0) Then count := 1; Endif;")
+        branch = next(b.terminator for b in handler.blocks.values()
+                      if isinstance(b.terminator, TBranch))
+        # False edge goes straight to the join block.
+        join = handler.blocks[branch.false_target]
+        assert isinstance(join.terminator, TReturn)
+
+    def test_while_has_back_edge(self):
+        handler, _ = lower_body(
+            "While (count > 0) Do count := count - 1; End;")
+        branch_blocks = [
+            b for b in handler.blocks.values()
+            if isinstance(b.terminator, TBranch)
+        ]
+        assert len(branch_blocks) == 1
+        head = branch_blocks[0]
+        body = handler.blocks[head.terminator.true_target]
+        assert isinstance(body.terminator, TGoto)
+        assert body.terminator.target == head.block_id
+
+    def test_suspend_splits_block(self):
+        handler, _ = lower_body(
+            "count := 1;\nSuspend(L, W{L});\ncount := 2;")
+        assert len(handler.suspend_sites) == 1
+        site = handler.suspend_sites[0]
+        entry = handler.blocks[handler.entry]
+        assert isinstance(entry.terminator, TSuspend)
+        resume = handler.blocks[site.resume_block]
+        assert len(resume.ops) == 1
+
+    def test_suspend_in_loop(self):
+        handler, _ = lower_body(
+            "While (count > 0) Do\n"
+            "  Suspend(L, W{L});\n"
+            "  count := count - 1;\n"
+            "End;")
+        assert len(handler.suspend_sites) == 1
+        site = handler.suspend_sites[0]
+        # The resume block eventually jumps back to the loop head.
+        assert site.resume_block in handler.blocks
+
+    def test_two_suspends(self):
+        handler, _ = lower_body(
+            "Suspend(L, W{L});\nSuspend(L2, W{L2});")
+        assert len(handler.suspend_sites) == 2
+        assert handler.fragment_entries()[0] == handler.entry
+        assert len(handler.fragment_entries()) == 3
+
+    def test_return_terminates(self):
+        handler, _ = lower_body(
+            "If (count > 0) Then Return; Endif;\ncount := 1;")
+        assert any(isinstance(b.terminator, TReturn)
+                   for b in handler.blocks.values())
+
+    def test_unreachable_after_return_rejected(self):
+        with pytest.raises(CompileError, match="unreachable"):
+            lower_body("Return;\ncount := 1;")
+
+    def test_lower_program_covers_all_handlers(self):
+        checked = check_program(parse_program(MINI_SOURCE))
+        handlers = lower_program(checked)
+        assert ("Home_Idle", "GET_REQ") in handlers
+        assert ("Cache_Wait", "DEFAULT") in handlers
+
+    def test_frame_vars(self):
+        handler, _ = lower_body("Suspend(L, W{L});", "Var\n  tmp : INT;")
+        frame = handler.frame_vars
+        assert "id" in frame and "info" in frame and "src" in frame
+        assert "tmp" in frame and "L" in frame
+        assert "count" not in frame  # info var, not frame
+
+
+class TestLiveness:
+    def test_dead_after_suspend_not_saved(self):
+        handler, _ = lower_body(
+            "count := NodeToInt(src);\nSuspend(L, W{L});\nWakeUp(id);")
+        apply_liveness(handler)
+        site = handler.suspend_sites[0]
+        assert "src" not in site.save_set
+        # id is rebindable from the resuming message, so never saved.
+        assert "id" not in site.save_set
+
+    def test_live_after_suspend_saved(self):
+        handler, _ = lower_body(
+            "Suspend(L, W{L});\nowner := src;")
+        apply_liveness(handler)
+        assert "src" in handler.suspend_sites[0].save_set
+
+    def test_local_live_across_suspend(self):
+        handler, _ = lower_body(
+            "tmp := NodeToInt(src);\nSuspend(L, W{L});\ncount := tmp;",
+            "Var\n  tmp : INT;")
+        apply_liveness(handler)
+        assert "tmp" in handler.suspend_sites[0].save_set
+
+    def test_local_redefined_after_suspend_not_saved(self):
+        handler, _ = lower_body(
+            "tmp := 1;\nSuspend(L, W{L});\ntmp := 2;\ncount := tmp;",
+            "Var\n  tmp : INT;")
+        apply_liveness(handler)
+        assert "tmp" not in handler.suspend_sites[0].save_set
+
+    def test_liveness_through_loop(self):
+        handler, _ = lower_body(
+            "tmp := NodeToInt(src);\n"
+            "While (count > 0) Do\n"
+            "  Suspend(L, W{L});\n"
+            "End;\n"
+            "owner := src;\ncount := tmp;",
+            "Var\n  tmp : INT;")
+        apply_liveness(handler)
+        site = handler.suspend_sites[0]
+        # Both tmp and src are live around the loop.
+        assert "tmp" in site.save_set
+        assert "src" in site.save_set
+
+    def test_save_all_mode(self):
+        handler, _ = lower_body(
+            "Suspend(L, W{L});", "Var\n  tmp : INT;")
+        apply_save_all(handler)
+        site = handler.suspend_sites[0]
+        assert set(site.save_set) >= {"id", "info", "src", "tmp"}
+        assert "L" not in site.save_set
+
+    def test_liveness_save_subset_of_save_all(self):
+        for body, decls in [
+            ("Suspend(L, W{L});\nowner := src;", ""),
+            ("tmp := 1;\nSuspend(L, W{L});\ncount := tmp;",
+             "Var\n  tmp : INT;"),
+        ]:
+            h1, _ = lower_body(body, decls)
+            h2, _ = lower_body(body, decls)
+            apply_liveness(h1)
+            apply_save_all(h2)
+            assert set(h1.suspend_sites[0].save_set) <= \
+                set(h2.suspend_sites[0].save_set)
+
+    def test_compute_liveness_fixed_point(self):
+        handler, _ = lower_body(
+            "While (count > 0) Do\n  owner := src;\nEnd;")
+        live = compute_liveness(handler)
+        assert "src" in live[handler.entry]
+
+
+class TestConstCont:
+    def test_empty_save_set_becomes_static(self):
+        protocol = compile_source(
+            TEMPLATE.format(body="Suspend(L, W{L});\nWakeUp(id);",
+                            locals=""),
+            opt_level=OptLevel.O2,
+            initial_states=("S", "S"))
+        handler = protocol.handlers[("S", "M")]
+        assert handler.suspend_sites[0].is_static
+        assert protocol.stats.n_static_sites == 1
+
+    def test_nonempty_save_set_not_static(self):
+        protocol = compile_source(
+            TEMPLATE.format(body="Suspend(L, W{L});\nowner := src;",
+                            locals=""),
+            opt_level=OptLevel.O2,
+            initial_states=("S", "S"))
+        handler = protocol.handlers[("S", "M")]
+        assert not handler.suspend_sites[0].is_static
+
+    def test_unique_source_inlines_resume(self):
+        protocol = compile_source(
+            TEMPLATE.format(body="Suspend(L, W{L});\nWakeUp(id);",
+                            locals=""),
+            opt_level=OptLevel.O2,
+            initial_states=("S", "S"))
+        assert protocol.stats.n_inlined_resumes == 1
+        resume_handler = protocol.handlers[("W", "R")]
+        resume_ops = [
+            op for block in resume_handler.blocks.values()
+            for op in block.ops if hasattr(op, "direct_site")
+        ]
+        assert resume_ops[0].direct_site == 0
+        assert resume_ops[0].direct_handler == "S.M"
+
+    def test_multiple_sources_prevent_inlining(self):
+        # Mini's Home_Wait is suspended to from three handlers.
+        protocol = compile_mini(OptLevel.O2)
+        handler = protocol.handlers[("Home_Wait", "PUT_RESP")]
+        resume_ops = [
+            op for block in handler.blocks.values()
+            for op in block.ops if hasattr(op, "direct_site")
+        ]
+        assert resume_ops[0].direct_site is None
+        assert protocol.stats.n_inlined_resumes == 0
+
+    def test_cont_flow_analysis(self):
+        checked = check_program(parse_program(MINI_SOURCE))
+        handlers = lower_program(checked)
+        for handler in handlers.values():
+            apply_liveness(handler)
+        flow = analyze_cont_flow(checked, handlers)
+        sources = flow.param_sources[("Home_Wait", "C")]
+        assert sources is not None
+        assert len(sources) == 3  # GET_REQ, RD_FAULT, WR_FAULT
+
+    def test_o1_has_no_static_sites(self):
+        protocol = compile_mini(OptLevel.O1)
+        assert protocol.stats.n_static_sites == 0
+        assert all(
+            not site.is_static
+            for handler in protocol.handlers.values()
+            for site in handler.suspend_sites
+        )
+
+
+class TestPipeline:
+    def test_opt_levels_produce_same_structure(self):
+        protocols = {lvl: compile_mini(lvl) for lvl in OptLevel}
+        states = {frozenset(p.states) for p in protocols.values()}
+        assert len(states) == 1
+        suspends = {p.stats.n_suspend_sites for p in protocols.values()}
+        assert suspends == {5}
+
+    def test_flavor_recorded(self):
+        from repro.protocols import compile_named_protocol
+        assert compile_named_protocol("stache").flavor is Flavor.TEAPOT
+        assert compile_named_protocol("stache_sm").flavor is Flavor.BASELINE
+
+    def test_initial_state_inference(self):
+        from repro.protocols import load_protocol_source
+        protocol = compile_source(load_protocol_source("stache"))
+        assert protocol.initial_home_state == "Home_Idle"
+        assert protocol.initial_cache_state == "Cache_Invalid"
+
+    def test_initial_state_validation(self):
+        with pytest.raises(CompileError, match="not a state"):
+            compile_source(MINI_SOURCE, initial_states=("Nope", "Nope"))
+
+    def test_describe_mentions_counts(self):
+        protocol = compile_mini()
+        text = protocol.describe()
+        assert "suspend sites: 5" in text
+
+    def test_stats_counts(self):
+        protocol = compile_mini()
+        assert protocol.stats.n_states == 5
+        assert protocol.stats.n_transient_states == 2
+        assert protocol.stats.n_handlers == 13

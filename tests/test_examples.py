@@ -1,0 +1,34 @@
+"""Every example script runs clean end to end (subprocess integration)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+EXAMPLES = [
+    "quickstart.py",
+    "custom_protocol_cas.py",
+    "verify_and_debug.py",
+    "lcm_phases.py",
+    "codegen_tour.py",
+    "dash_nested_suspends.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join("examples", script)],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_examples_directory_is_covered():
+    listed = {
+        name for name in os.listdir(os.path.join(REPO_ROOT, "examples"))
+        if name.endswith(".py")
+    }
+    assert listed == set(EXAMPLES), "update EXAMPLES when adding scripts"

@@ -1,0 +1,189 @@
+"""Unit tests for the Teapot lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tokens = tokenize("Cache_RO_To_RW")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "Cache_RO_To_RW"
+
+    def test_identifier_with_digits_and_underscores(self):
+        assert texts("x1 _tmp a_b_c2") == ["x1", "_tmp", "a_b_c2"]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INTLIT
+        assert tokens[0].text == "42"
+
+    def test_identifier_cannot_start_with_digit(self):
+        with pytest.raises(LexError):
+            tokenize("1abc")
+
+    def test_string_literal_double_quotes(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRLIT
+        assert tokens[0].text == "hello world"
+
+    def test_string_literal_single_quotes(self):
+        tokens = tokenize("'msg %s'")
+        assert tokens[0].kind is TokenKind.STRLIT
+        assert tokens[0].text == "msg %s"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\tc\\d\"e"')
+        assert tokens[0].text == 'a\nb\tc\\d"e'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"line\nbreak"')
+
+
+class TestKeywords:
+    @pytest.mark.parametrize("spelling,kind", [
+        ("Begin", TokenKind.KW_BEGIN),
+        ("End", TokenKind.KW_END),
+        ("Suspend", TokenKind.KW_SUSPEND),
+        ("Resume", TokenKind.KW_RESUME),
+        ("Message", TokenKind.KW_MESSAGE),
+        ("State", TokenKind.KW_STATE),
+        ("Protocol", TokenKind.KW_PROTOCOL),
+        ("Transient", TokenKind.KW_TRANSIENT),
+        ("If", TokenKind.KW_IF),
+        ("Endif", TokenKind.KW_ENDIF),
+        ("While", TokenKind.KW_WHILE),
+    ])
+    def test_keyword_recognised(self, spelling, kind):
+        assert tokenize(spelling)[0].kind is kind
+
+    def test_keywords_are_case_insensitive(self):
+        for spelling in ("begin", "BEGIN", "Begin", "bEgIn"):
+            assert tokenize(spelling)[0].kind is TokenKind.KW_BEGIN
+
+    def test_identifiers_are_case_sensitive(self):
+        a, b = tokenize("Foo foo")[:2]
+        assert a.text == "Foo" and b.text == "foo"
+
+    def test_true_false(self):
+        assert kinds("True False")[:2] == [
+            TokenKind.KW_TRUE, TokenKind.KW_FALSE]
+
+    def test_and_or_not(self):
+        assert kinds("And Or Not")[:3] == [
+            TokenKind.KW_AND, TokenKind.KW_OR, TokenKind.KW_NOT]
+
+
+class TestOperators:
+    def test_assign_vs_colon(self):
+        assert kinds("x := y : z")[:5] == [
+            TokenKind.IDENT, TokenKind.ASSIGN, TokenKind.IDENT,
+            TokenKind.COLON, TokenKind.IDENT]
+
+    def test_comparison_operators(self):
+        assert kinds("< <= > >= = != <>")[:7] == [
+            TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE,
+            TokenKind.EQ, TokenKind.NE, TokenKind.NE]
+
+    def test_double_equals_is_equality(self):
+        assert kinds("==")[0] is TokenKind.EQ
+
+    def test_arithmetic(self):
+        assert kinds("+ - * / %")[:5] == [
+            TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR,
+            TokenKind.SLASH, TokenKind.PERCENT]
+
+    def test_braces_parens_and_punctuation(self):
+        assert kinds("( ) { } ; , .")[:7] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.SEMI, TokenKind.COMMA,
+            TokenKind.DOT]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("x -- this is a comment\ny") == ["x", "y"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("x -- trailing") == ["x"]
+
+    def test_block_comment(self):
+        assert texts("a /* skip\nme */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_minus_minus_requires_adjacency(self):
+        # "- -" is two minus operators, not a comment.
+        assert kinds("a - - b")[:4] == [
+            TokenKind.IDENT, TokenKind.MINUS, TokenKind.MINUS,
+            TokenKind.IDENT]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].location.line, tokens[0].location.column) == (1, 1)
+        assert (tokens[1].location.line, tokens[1].location.column) == (2, 3)
+
+    def test_filename_propagates(self):
+        token = tokenize("x", filename="proto.tea")[0]
+        assert token.location.filename == "proto.tea"
+        assert "proto.tea" in str(token.location)
+
+    def test_location_after_comment(self):
+        tokens = tokenize("-- c\nx")
+        assert tokens[0].location.line == 2
+
+
+class TestRealisticInput:
+    def test_figure7_fragment(self):
+        source = """
+        State Stache.Cache_ReadOnly{}
+        Begin
+          Message WR_RO_FAULT (id: ID; Var info: INFO; home: NODE)
+          Begin
+            Send(home, UPGRADE_REQ, id);
+            Suspend(L, Cache_RO_To_RW{L});
+            WakeUp(id);
+          End;
+        End;
+        """
+        tokens = tokenize(source)
+        assert tokens[-1].kind is TokenKind.EOF
+        spells = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert "Cache_RO_To_RW" in spells
+        assert "UPGRADE_REQ" in spells
+
+    def test_every_protocol_source_lexes(self):
+        from repro.protocols import PROTOCOLS, load_protocol_source
+        for name in PROTOCOLS:
+            tokens = tokenize(load_protocol_source(name), filename=name)
+            assert tokens[-1].kind is TokenKind.EOF
+            assert len(tokens) > 100

@@ -1,0 +1,305 @@
+"""Unit tests for the Teapot parser (Appendix A grammar)."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_handler_body, parse_program
+
+MINIMAL = """
+Protocol P
+Begin
+  State S {};
+  Message M;
+End;
+
+State P.S{}
+Begin
+End;
+"""
+
+
+def parse_stmt(source):
+    stmts = parse_handler_body(source)
+    assert len(stmts) == 1
+    return stmts[0]
+
+
+class TestProgramStructure:
+    def test_minimal_program(self):
+        program = parse_program(MINIMAL)
+        assert program.protocol.name == "P"
+        assert [s.state_name for s in program.states] == ["S"]
+
+    def test_module_declarations(self):
+        source = """
+        Module Support
+        Begin
+          Type SharerSet;
+          Const MaxNodes : INT;
+          Function PickOne(s : SharerSet) : NODE;
+          Procedure Record(n : NODE; v : INT);
+        End;
+        """ + MINIMAL
+        program = parse_program(source)
+        module = program.modules[0]
+        assert module.name == "Support"
+        assert isinstance(module.decls[0], ast.TypeDecl)
+        assert isinstance(module.decls[1], ast.ConstDecl)
+        fn = module.decls[2]
+        assert isinstance(fn, ast.FunctionDecl)
+        assert fn.return_type == "NODE"
+        proc = module.decls[3]
+        assert isinstance(proc, ast.ProcedureDecl)
+        assert [p.name for p in proc.params] == ["n", "v"]
+
+    def test_protocol_declarations(self):
+        source = """
+        Protocol Q
+        Begin
+          Var owner : NODE;
+          Var a, b : INT;
+          Const Limit := 4;
+          State Idle {};
+          State Waiting { C : CONT } Transient;
+          Message PING;
+        End;
+
+        State Q.Idle{} Begin End;
+        State Q.Waiting{C : CONT} Begin End;
+        """
+        protocol = parse_program(source).protocol
+        assert [v.name for v in protocol.var_decls] == ["owner", "a", "b"]
+        assert protocol.const_defs[0].name == "Limit"
+        decls = {d.name: d for d in protocol.state_decls}
+        assert not decls["Idle"].transient
+        assert decls["Waiting"].transient
+        assert decls["Waiting"].params[0].type_name == "CONT"
+        assert protocol.message_decls[0].name == "PING"
+
+    def test_state_qualifier_optional(self):
+        source = MINIMAL.replace("State P.S{}", "State S{}")
+        program = parse_program(source)
+        assert program.states[0].protocol_name == ""
+
+    def test_state_params_accept_parens_too(self):
+        source = """
+        Protocol P
+        Begin
+          State S (C : CONT) Transient;
+        End;
+        State P.S (C : CONT) Begin End;
+        """
+        program = parse_program(source)
+        assert program.states[0].params[0].name == "C"
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program(MINIMAL + "garbage")
+
+    def test_missing_protocol_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("State P.S{} Begin End;")
+
+
+class TestHandlers:
+    def test_handler_with_params_and_locals(self):
+        source = """
+        Protocol P
+        Begin
+          State S {};
+          Message M;
+        End;
+
+        State P.S{}
+        Begin
+          Message M (id : ID; Var info : INFO; src : NODE; v : INT)
+          Var
+            tmp, cnt : INT;
+            who : NODE;
+          Begin
+            tmp := v + 1;
+          End;
+        End;
+        """
+        handler = parse_program(source).states[0].handlers[0]
+        assert handler.message_name == "M"
+        assert [p.name for p in handler.params] == ["id", "info", "src", "v"]
+        assert handler.params[1].by_ref
+        assert not handler.params[0].by_ref
+        assert [d.name for d in handler.local_decls] == ["tmp", "cnt", "who"]
+        assert handler.local_decls[2].type_name == "NODE"
+
+    def test_default_handler(self):
+        source = MINIMAL.replace("Begin\nEnd;", """Begin
+          Message DEFAULT (id : ID; Var info : INFO; src : NODE)
+          Begin
+          End;
+        End;""", 1)
+        handler = parse_program(source).states[0].handlers[0]
+        assert handler.is_default
+
+    def test_empty_handler_body(self):
+        source = MINIMAL.replace("Begin\nEnd;", """Begin
+          Message M (id : ID; Var info : INFO; src : NODE)
+          Begin
+          End;
+        End;""", 1)
+        handler = parse_program(source).states[0].handlers[0]
+        assert handler.body == []
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = parse_stmt("x := y + 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, ast.BinOp)
+
+    def test_call_statement(self):
+        stmt = parse_stmt("Send(home, REQ, id);")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "Send"
+        assert len(stmt.args) == 3
+
+    def test_call_with_semicolon_separated_args(self):
+        # The appendix grammar separates exprs with semicolons.
+        stmt = parse_stmt("Send(home; REQ; id);")
+        assert isinstance(stmt, ast.CallStmt)
+        assert len(stmt.args) == 3
+
+    def test_if_then_endif(self):
+        stmt = parse_stmt("If (x = 1) Then y := 2; Endif;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_body == []
+
+    def test_if_then_else(self):
+        stmt = parse_stmt(
+            "If (ok) Then a := 1; Else a := 2; b := 3; Endif;")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 2
+
+    def test_nested_if(self):
+        stmt = parse_stmt("""
+            If (a) Then
+              If (b) Then x := 1; Endif;
+            Else
+              y := 2;
+            Endif;
+        """)
+        assert isinstance(stmt.then_body[0], ast.If)
+
+    def test_while(self):
+        stmt = parse_stmt("While (n > 0) Do n := n - 1; End;")
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body) == 1
+
+    def test_suspend(self):
+        stmt = parse_stmt("Suspend(L, Await{L});")
+        assert isinstance(stmt, ast.Suspend)
+        assert stmt.cont_name == "L"
+        assert stmt.target.name == "Await"
+        assert isinstance(stmt.target.args[0], ast.NameRef)
+
+    def test_suspend_requires_state_constructor(self):
+        with pytest.raises(ParseError):
+            parse_handler_body("Suspend(L, 42);")
+
+    def test_resume(self):
+        stmt = parse_stmt("Resume(C);")
+        assert isinstance(stmt, ast.Resume)
+
+    def test_return_bare_and_with_value(self):
+        assert parse_stmt("Return;").value is None
+        stmt = parse_stmt("Return x + 1;")
+        assert isinstance(stmt.value, ast.BinOp)
+
+    def test_print(self):
+        stmt = parse_stmt('Print("n=", n);')
+        assert isinstance(stmt, ast.PrintStmt)
+        assert len(stmt.args) == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_handler_body("x := 1")
+
+
+class TestExpressions:
+    def expr(self, text):
+        stmt = parse_stmt(f"x := {text};")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_precedence_compare_over_and(self):
+        e = self.expr("a < b And c > d")
+        assert e.op == "And"
+        assert e.left.op == "<" and e.right.op == ">"
+
+    def test_precedence_and_over_or(self):
+        e = self.expr("a Or b And c")
+        assert e.op == "Or"
+        assert e.right.op == "And"
+
+    def test_parentheses_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_unary_not_and_minus(self):
+        e = self.expr("Not a")
+        assert isinstance(e, ast.UnOp) and e.op == "Not"
+        e = self.expr("-x + 1")
+        assert e.op == "+" and isinstance(e.left, ast.UnOp)
+
+    def test_function_call_expression(self):
+        e = self.expr("HomeNode(id)")
+        assert isinstance(e, ast.CallExpr)
+
+    def test_state_constructor_expression(self):
+        e = self.expr("ReadShared{}")
+        assert isinstance(e, ast.StateExpr)
+        assert e.args == []
+
+    def test_equality_spellings(self):
+        for spelling in ("=", "=="):
+            e = self.expr(f"a {spelling} b")
+            assert e.op == "="
+
+    def test_literal_kinds(self):
+        assert isinstance(self.expr("5"), ast.IntLit)
+        assert isinstance(self.expr("True"), ast.BoolLit)
+        assert isinstance(self.expr('"s"'), ast.StrLit)
+
+    def test_left_associativity(self):
+        e = self.expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "-"
+        assert isinstance(e.right, ast.NameRef) and e.right.name == "c"
+
+
+class TestRealProtocols:
+    def test_all_registered_protocols_parse(self):
+        from repro.protocols import PROTOCOLS, load_protocol_source
+        for name in PROTOCOLS:
+            program = parse_program(load_protocol_source(name), name)
+            assert program.states, name
+            assert program.protocol.state_decls, name
+
+    def test_stache_has_expected_states(self):
+        from repro.protocols import load_protocol_source
+        program = parse_program(load_protocol_source("stache"))
+        names = {s.state_name for s in program.states}
+        assert {"Home_Idle", "Home_RS", "Home_Excl", "Home_Await_Put",
+                "Cache_Invalid", "Cache_RO", "Cache_RW"} <= names
+
+    def test_error_reports_location(self):
+        source = MINIMAL.replace("Message M;", "Message ;")
+        with pytest.raises(ParseError) as exc_info:
+            parse_program(source, "bad.tea")
+        assert exc_info.value.location is not None
+        assert exc_info.value.location.filename == "bad.tea"

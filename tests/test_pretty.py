@@ -1,0 +1,185 @@
+"""Pretty-printer round-trip tests (including hypothesis-generated ASTs)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import format_expr, format_program, format_stmts
+from repro.protocols import PROTOCOLS, load_protocol_source
+
+from helpers import MINI_SOURCE
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality ignoring source locations."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            ast_equal(x, y) for x, y in zip(a, b))
+    if hasattr(a, "__dataclass_fields__"):
+        for field in a.__dataclass_fields__:
+            if field == "location":
+                continue
+            if not ast_equal(getattr(a, field), getattr(b, field)):
+                return False
+        return True
+    return a == b
+
+
+class TestRoundTrip:
+    def test_mini_round_trips(self):
+        program = parse_program(MINI_SOURCE)
+        again = parse_program(format_program(program))
+        assert ast_equal(program, again)
+
+    def test_all_registered_protocols_round_trip(self):
+        for name in PROTOCOLS:
+            program = parse_program(load_protocol_source(name))
+            printed = format_program(program)
+            again = parse_program(printed)
+            assert ast_equal(program, again), name
+
+    def test_idempotent(self):
+        program = parse_program(load_protocol_source("stache"))
+        once = format_program(program)
+        twice = format_program(parse_program(once))
+        assert once == twice
+
+
+class TestExprFormatting:
+    def test_operators_parenthesised(self):
+        expr = ast.BinOp("+", ast.IntLit(1),
+                         ast.BinOp("*", ast.IntLit(2), ast.IntLit(3)))
+        assert format_expr(expr) == "(1 + (2 * 3))"
+
+    def test_state_constructor(self):
+        expr = ast.StateExpr("Await", [ast.NameRef("L")])
+        assert format_expr(expr) == "Await{L}"
+
+    def test_string_escaping(self):
+        expr = ast.StrLit('a"b\\c\nd')
+        text = format_expr(expr)
+        assert text == '"a\\"b\\\\c\\nd"'
+
+    def test_bool_literals(self):
+        assert format_expr(ast.BoolLit(True)) == "True"
+        assert format_expr(ast.BoolLit(False)) == "False"
+
+    def test_unary(self):
+        assert format_expr(ast.UnOp("Not", ast.NameRef("x"))) == "(Not x)"
+        assert format_expr(ast.UnOp("-", ast.IntLit(1))) == "(-1)"
+
+
+class TestStmtFormatting:
+    def test_if_else(self):
+        stmt = ast.If(ast.NameRef("c"),
+                      [ast.Assign("x", ast.IntLit(1))],
+                      [ast.Assign("x", ast.IntLit(2))])
+        lines = format_stmts([stmt])
+        assert lines[0] == "If (c) Then"
+        assert "Else" in lines
+        assert lines[-1] == "Endif;"
+
+    def test_suspend(self):
+        stmt = ast.Suspend("L", ast.StateExpr("W", [ast.NameRef("L")]))
+        assert format_stmts([stmt]) == ["Suspend(L, W{L});"]
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip on generated programs
+# ---------------------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    # Avoid keywords (case-insensitive).
+    lambda s: s.lower() not in {
+        "begin", "end", "if", "then", "else", "endif", "while", "do",
+        "suspend", "resume", "return", "print", "message", "state",
+        "protocol", "module", "var", "const", "type", "function",
+        "procedure", "transient", "and", "or", "not", "true", "false",
+    }
+)
+
+
+def _expr_strategy():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=999).map(ast.IntLit),
+        st.booleans().map(ast.BoolLit),
+        _ident.map(ast.NameRef),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "=", "<", "And", "Or"]),
+                      children, children)
+            .map(lambda t: ast.BinOp(*t)),
+            children.map(lambda e: ast.UnOp("Not", e)),
+            st.tuples(_ident, st.lists(children, max_size=2))
+            .map(lambda t: ast.CallExpr(*t)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+def _stmt_strategy():
+    simple = st.one_of(
+        st.tuples(_ident, _expr_strategy()).map(lambda t: ast.Assign(*t)),
+        st.tuples(_ident, st.lists(_expr_strategy(), max_size=3))
+        .map(lambda t: ast.CallStmt(*t)),
+        st.just(ast.Return(None)),
+        st.lists(_expr_strategy(), min_size=1, max_size=2)
+        .map(ast.PrintStmt),
+    )
+
+    def extend(children):
+        bodies = st.lists(children, max_size=3)
+        return st.one_of(
+            st.tuples(_expr_strategy(), bodies, bodies)
+            .map(lambda t: ast.If(*t)),
+            st.tuples(_expr_strategy(), bodies)
+            .map(lambda t: ast.While(*t)),
+        )
+
+    return st.recursive(simple, extend, max_leaves=6)
+
+
+@given(st.lists(_stmt_strategy(), max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_statement_lists_round_trip(stmts):
+    """pretty(stmts) re-parses to a structurally identical list."""
+    from repro.lang.parser import parse_handler_body
+
+    printed = "\n".join(format_stmts(stmts))
+    reparsed = parse_handler_body(printed)
+    assert ast_equal(stmts, reparsed)
+
+
+def test_modules_round_trip():
+    source = """
+    Module Support
+    Begin
+      Type WorkSet;
+      Const Limit : INT;
+      Function Pick(s : WorkSet; n : NODE) : NODE;
+      Procedure Log(v : INT);
+    End;
+
+    Protocol P
+    Begin
+      State S {};
+      Message M;
+    End;
+
+    State P.S{}
+    Begin
+      Message M (id : ID; Var info : INFO; src : NODE)
+      Begin
+      End;
+    End;
+    """
+    program = parse_program(source)
+    printed = format_program(program)
+    again = parse_program(printed)
+    assert ast_equal(program, again)
+    assert "Module Support" in printed
+    assert "Function Pick(s : WorkSet; n : NODE) : NODE;" in printed

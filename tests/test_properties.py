@@ -1,0 +1,137 @@
+"""Cross-cutting property tests over every registered protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.liveness import apply_liveness, apply_save_all
+from repro.compiler.lower import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.typecheck import check_program
+from repro.protocols import PROTOCOLS, compile_named_protocol, \
+    load_protocol_source
+from repro.runtime.protocol import OptLevel
+
+ALL_NAMES = sorted(PROTOCOLS)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestCompiledInvariants:
+    def test_save_sets_are_frame_subsets(self, name):
+        protocol = compile_named_protocol(name)
+        for handler in protocol.handlers.values():
+            frame = set(handler.frame_vars)
+            for site in handler.suspend_sites:
+                assert set(site.save_set) <= frame
+
+    def test_static_sites_have_empty_save_sets(self, name):
+        protocol = compile_named_protocol(name)
+        for handler in protocol.handlers.values():
+            for site in handler.suspend_sites:
+                if site.is_static:
+                    assert site.save_set == ()
+
+    def test_liveness_never_saves_more_than_save_all(self, name):
+        checked = check_program(parse_program(load_protocol_source(name)))
+        live = lower_program(checked)
+        full = lower_program(checked)
+        for handler in live.values():
+            apply_liveness(handler)
+        for handler in full.values():
+            apply_save_all(handler)
+        for key in live:
+            for site_l, site_f in zip(live[key].suspend_sites,
+                                      full[key].suspend_sites):
+                assert set(site_l.save_set) <= set(site_f.save_set), key
+
+    def test_suspend_targets_are_transient(self, name):
+        protocol = compile_named_protocol(name)
+        for handler in protocol.handlers.values():
+            for site in handler.suspend_sites:
+                assert protocol.states[site.target.name].transient, \
+                    f"{handler.qualified_name} suspends to a stable state"
+
+    def test_every_transient_state_can_make_progress(self, name):
+        """Every transient state handles at least one real message (it
+        must be able to leave), and defaults to queue/ignore rather than
+        error for the rest."""
+        protocol = compile_named_protocol(name)
+        for state in protocol.states.values():
+            if not state.transient:
+                continue
+            assert state.handlers, state.name
+
+    def test_inlined_resumes_reference_real_sites(self, name):
+        from repro.compiler.ir import IResume
+        protocol = compile_named_protocol(name)
+        for handler in protocol.handlers.values():
+            for block in handler.blocks.values():
+                for op in block.ops:
+                    if isinstance(op, IResume) and op.direct_site is not None:
+                        owner, site = protocol.suspend_site(
+                            op.direct_handler, op.direct_site)
+                        assert site.site_id == op.direct_site
+
+    def test_fragment_entries_are_distinct(self, name):
+        protocol = compile_named_protocol(name)
+        for handler in protocol.handlers.values():
+            entries = handler.fragment_entries()
+            assert len(entries) == len(set(entries)), \
+                handler.qualified_name
+
+    def test_all_opt_levels_compile(self, name):
+        for level in OptLevel:
+            protocol = compile_named_protocol(name, opt_level=level)
+            assert protocol.stats.n_handlers > 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_backends_agree_on_vocabulary(name):
+    from repro.backends import emit_c, emit_murphi, emit_python
+    protocol = compile_named_protocol(name)
+    c_text = emit_c(protocol)
+    murphi_text = emit_murphi(protocol)
+    python_text = emit_python(protocol)
+    for state in protocol.states:
+        assert f"STATE_{state}" in c_text
+        assert f"S_{state}" in murphi_text
+    for key in protocol.handlers:
+        assert repr(key[0]) in python_text or f"'{key[0]}'" in python_text
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000),
+       n_blocks=st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_simulation_conserves_queue_records(seed, n_blocks):
+    """Deferred messages are always eventually redelivered."""
+    from repro.tempest.machine import Machine, MachineConfig
+    from helpers import random_sharing_programs
+
+    protocol = compile_named_protocol("stache")
+    programs = random_sharing_programs(3, n_blocks, 10, seed=seed)
+    machine = Machine(protocol, programs,
+                      MachineConfig(n_nodes=3, n_blocks=n_blocks))
+    result = machine.run()
+    machine.assert_quiescent()
+    counters = result.stats.counters
+    assert counters.queue_allocs == counters.queue_frees
+    assert counters.cont_allocs == counters.cont_frees
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=15, deadline=None)
+def test_simulation_conserves_messages(seed):
+    """Every message sent is delivered: nothing in flight at rest."""
+    from repro.tempest.machine import Machine, MachineConfig
+    from helpers import random_sharing_programs
+
+    protocol = compile_named_protocol("dash")
+    programs = random_sharing_programs(3, 2, 8, seed=seed)
+    machine = Machine(protocol, programs,
+                      MachineConfig(n_nodes=3, n_blocks=2))
+    machine.run()
+    machine.assert_quiescent()
+    machine.assert_coherent()
+    # The event queue drained completely (run() returned), so carried
+    # messages all reached handlers.
+    assert machine.network.messages_carried == \
+        machine._collect_stats().counters.messages_sent

@@ -1,0 +1,246 @@
+"""Unit tests for the Tempest substrate: memory, network, machine."""
+
+import pytest
+
+from repro.lang.errors import RuntimeProtocolError
+from repro.runtime.context import Message
+from repro.runtime.protocol import OptLevel
+from repro.tempest.machine import Machine, MachineConfig
+from repro.tempest.memory import (
+    ACCESS_CHANGE_RESULT,
+    AccessTag,
+    fault_event_for,
+)
+from repro.tempest.network import Network, NetworkConfig
+
+from helpers import compile_mini, random_sharing_programs
+
+
+class TestAccessControl:
+    @pytest.mark.parametrize("tag,is_write,expected", [
+        (AccessTag.INVALID, False, "RD_FAULT"),
+        (AccessTag.INVALID, True, "WR_FAULT"),
+        (AccessTag.READ_ONLY, False, None),
+        (AccessTag.READ_ONLY, True, "WR_RO_FAULT"),
+        (AccessTag.READ_WRITE, False, None),
+        (AccessTag.READ_WRITE, True, None),
+    ])
+    def test_fault_matrix(self, tag, is_write, expected):
+        assert fault_event_for(tag, is_write) == expected
+
+    def test_access_change_table_complete(self):
+        assert set(ACCESS_CHANGE_RESULT) == {
+            "Blk_Invalidate", "Blk_Upgrade_RO", "Blk_Upgrade_RW",
+            "Blk_Downgrade_RO",
+        }
+
+    def test_permissions(self):
+        assert not AccessTag.INVALID.allows_read()
+        assert AccessTag.READ_ONLY.allows_read()
+        assert not AccessTag.READ_ONLY.allows_write()
+        assert AccessTag.READ_WRITE.allows_write()
+
+
+class TestNetwork:
+    def _msg(self, src=0, dst=1):
+        return Message("PING", 0, src=src, dst=dst)
+
+    def test_constant_latency(self):
+        network = Network(NetworkConfig(latency=100, jitter=0))
+        assert network.arrival_time(self._msg(), 50) == 150
+
+    def test_fifo_clamping(self):
+        network = Network(NetworkConfig(latency=100, jitter=0, fifo=True))
+        first = network.arrival_time(self._msg(), 0)
+        # A message sent later but that would arrive at the same time is
+        # pushed behind the first.
+        second = network.arrival_time(self._msg(), 0)
+        assert second > first
+
+    def test_fifo_is_per_channel(self):
+        network = Network(NetworkConfig(latency=100, jitter=0, fifo=True))
+        a = network.arrival_time(self._msg(0, 1), 0)
+        b = network.arrival_time(self._msg(0, 2), 0)
+        assert a == b  # different channels do not clamp each other
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def arrivals(seed):
+            network = Network(NetworkConfig(latency=10, jitter=50,
+                                            fifo=False, seed=seed))
+            return [network.arrival_time(self._msg(), t)
+                    for t in range(10)]
+
+        assert arrivals(1) == arrivals(1)
+        assert arrivals(1) != arrivals(2)
+
+    def test_jitter_can_reorder_without_fifo(self):
+        network = Network(NetworkConfig(latency=10, jitter=200,
+                                        fifo=False, seed=3))
+        times = [network.arrival_time(self._msg(), t) for t in range(20)]
+        assert any(b < a for a, b in zip(times, times[1:]))
+
+    def test_message_count(self):
+        network = Network(NetworkConfig())
+        network.arrival_time(self._msg(), 0)
+        network.arrival_time(self._msg(), 1)
+        assert network.messages_carried == 2
+
+
+class TestMachine:
+    def test_simple_token_passing(self):
+        protocol = compile_mini()
+        programs = [
+            [("write", 0, 5), ("barrier",), ("barrier",)],
+            [("barrier",), ("read", 0, "log"), ("barrier",)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        result = machine.run()
+        machine.assert_quiescent()
+        assert machine.nodes[1].observed == [(0, 5)]
+        assert result.cycles > 0
+
+    def test_wrong_program_count_rejected(self):
+        protocol = compile_mini()
+        with pytest.raises(ValueError, match="programs"):
+            Machine(protocol, [[]], MachineConfig(n_nodes=2))
+
+    def test_home_striping(self):
+        protocol = compile_mini()
+        machine = Machine(protocol, [[], [], []],
+                          MachineConfig(n_nodes=3, n_blocks=6))
+        assert machine.home_of(0) == 0
+        assert machine.home_of(4) == 1
+        assert machine.home_of(5) == 2
+
+    def test_custom_home_map(self):
+        protocol = compile_mini()
+        machine = Machine(protocol, [[], []],
+                          MachineConfig(n_nodes=2, n_blocks=4,
+                                        home_map=lambda b: 1))
+        assert machine.home_of(0) == 1
+
+    def test_barriers_synchronise(self):
+        protocol = compile_mini()
+        programs = [
+            [("compute", 10_000), ("barrier",)],
+            [("compute", 5), ("barrier",)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        stats = machine.nodes[1].stats
+        assert stats.barrier_wait_cycles >= 9_000
+
+    def test_finished_nodes_leave_the_barrier_group(self):
+        # Barriers synchronise the *active* nodes: once a node's program
+        # ends, later barriers of the others do not wait for it.
+        protocol = compile_mini()
+        programs = [
+            [("barrier",), ("barrier",)],
+            [("barrier",)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        assert all(node.finished for node in machine.nodes)
+
+    def test_event_op_blocks_until_wakeup(self):
+        # GET_REQ is not an app event; use read faults instead: node 1
+        # reads a block homed at 0, which requires a round trip.
+        protocol = compile_mini()
+        programs = [
+            [],
+            [("read", 0)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        stats = machine.nodes[1].stats
+        assert stats.faults == 1
+        assert stats.fault_wait_cycles > 0
+
+    def test_fault_counts_and_hits(self):
+        protocol = compile_mini()
+        programs = [
+            [],
+            [("read", 0), ("read", 0), ("read", 0)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        stats = machine.nodes[1].stats
+        assert stats.faults == 1          # only the first read misses
+        assert stats.read_hits == 3       # all three complete
+
+    def test_execution_time_is_max_over_nodes(self):
+        protocol = compile_mini()
+        programs = [[("compute", 123)], [("compute", 55_000)]]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        result = machine.run()
+        assert result.cycles >= 55_000
+
+    def test_livelock_guard(self):
+        protocol = compile_mini()
+        programs = random_sharing_programs(2, 1, 30, seed=5)
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1,
+                                        max_events=3))
+        with pytest.raises(RuntimeProtocolError, match="events"):
+            machine.run()
+
+    def test_data_transfer_carries_values(self):
+        protocol = compile_mini()
+        programs = [
+            [("write", 0, 41), ("barrier",), ("barrier",),
+             ("read", 0, "log")],
+            [("barrier",), ("write", 0, 42), ("barrier",)],
+        ]
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        machine.assert_quiescent()
+        assert machine.nodes[0].observed == [(0, 42)]
+
+    def test_assert_quiescent_detects_transient(self):
+        protocol = compile_mini()
+        machine = Machine(protocol, [[], []],
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        record = machine.nodes[0].store.record(0)
+        record.state_name = "Home_Wait"
+        with pytest.raises(AssertionError, match="transient"):
+            machine.assert_quiescent()
+
+    def test_assert_coherent_detects_two_writers(self):
+        protocol = compile_mini()
+        machine = Machine(protocol, [[], []],
+                          MachineConfig(n_nodes=2, n_blocks=1))
+        machine.run()
+        machine.nodes[0].store.record(0)  # home record (READ_WRITE)
+        machine.nodes[1].store.record(0).access = AccessTag.READ_WRITE
+        with pytest.raises(AssertionError, match="writable"):
+            machine.assert_coherent()
+
+    def test_stats_aggregation(self):
+        protocol = compile_mini()
+        programs = random_sharing_programs(3, 2, 10, seed=6)
+        machine = Machine(protocol, programs,
+                          MachineConfig(n_nodes=3, n_blocks=2))
+        result = machine.run()
+        stats = result.stats
+        assert len(stats.nodes) == 3
+        assert stats.messages == stats.counters.messages_sent
+        assert 0.0 <= stats.fault_time_fraction <= 1.0
+        assert "cycles=" in stats.summary()
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            protocol = compile_mini()
+            programs = random_sharing_programs(3, 2, 20, seed=7)
+            machine = Machine(protocol, programs,
+                              MachineConfig(n_nodes=3, n_blocks=2))
+            return machine.run().cycles
+
+        assert run_once() == run_once()

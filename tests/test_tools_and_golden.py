@@ -1,0 +1,71 @@
+"""Tests for the repository tools and emitter golden files."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.backends import emit_c, emit_murphi, emit_python
+
+from helpers import compile_mini
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+
+class TestGoldenFiles:
+    """The Mini protocol's generated code, byte for byte.
+
+    Regenerate with the snippet in tests/golden/README (or simply by
+    re-running the emitters) when the back ends intentionally change.
+    """
+
+    def _golden(self, name):
+        with open(os.path.join(GOLDEN_DIR, name)) as handle:
+            return handle.read()
+
+    def test_c_output_is_stable(self):
+        assert emit_c(compile_mini()) == self._golden("mini.c")
+
+    def test_murphi_output_is_stable(self):
+        assert emit_murphi(compile_mini()) == self._golden("mini.m")
+
+    def test_python_output_is_stable(self):
+        assert emit_python(compile_mini()) == self._golden("mini.py.txt")
+
+
+def run_tool(script, *args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, os.path.join("tools", script), *args],
+        cwd=cwd, capture_output=True, text=True, timeout=300)
+
+
+class TestTools:
+    def test_render_figures(self, tmp_path):
+        result = run_tool("render_figures.py", str(tmp_path))
+        assert result.returncode == 0, result.stderr
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "fig2_home_ideal.dot" in names
+        assert "fig10_stache.c" in names
+        assert "graph_lcm.dot" in names
+
+    def test_generate_protocol_docs(self):
+        result = run_tool("generate_protocol_docs.py")
+        assert result.returncode == 0, result.stderr
+        with open(os.path.join(REPO_ROOT, "docs", "PROTOCOLS.md")) as handle:
+            text = handle.read()
+        assert "# Protocol Catalog" in text
+        for name in ("stache", "lcm_both", "dash", "stache_evict"):
+            assert f"`{name}`" in text
+
+    def test_generate_lcm_variants_is_idempotent(self):
+        paths = [
+            os.path.join(REPO_ROOT, "src", "repro", "protocols", name)
+            for name in ("lcm_update.tea", "lcm_mcc.tea", "lcm_both.tea")
+        ]
+        before = [open(p).read() for p in paths]
+        result = run_tool("generate_lcm_variants.py")
+        assert result.returncode == 0, result.stderr
+        after = [open(p).read() for p in paths]
+        assert before == after

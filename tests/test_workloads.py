@@ -1,0 +1,105 @@
+"""Tests for the Table 1/2 workload generators and driver."""
+
+import pytest
+
+from repro.protocols import compile_named_protocol
+from repro.runtime.protocol import OptLevel
+from repro.workloads import (
+    LCM_WORKLOADS,
+    STACHE_WORKLOADS,
+    run_workload,
+)
+
+
+def barrier_count(program):
+    return sum(1 for op in program if op[0] == "barrier")
+
+
+class TestGeneratorWellFormedness:
+    @pytest.mark.parametrize("name", list(STACHE_WORKLOADS))
+    def test_stache_programs_align_barriers(self, name):
+        factory, blocks_fn = STACHE_WORKLOADS[name]
+        programs = factory(n_nodes=8)
+        assert len(programs) == 8
+        counts = {barrier_count(p) for p in programs}
+        assert len(counts) == 1, f"{name}: mismatched barrier counts"
+
+    @pytest.mark.parametrize("name", list(LCM_WORKLOADS))
+    def test_lcm_programs_align_barriers(self, name):
+        factory, blocks_fn = LCM_WORKLOADS[name]
+        programs = factory(n_nodes=8)
+        counts = {barrier_count(p) for p in programs}
+        assert len(counts) == 1, f"{name}: mismatched barrier counts"
+
+    @pytest.mark.parametrize("name", list(STACHE_WORKLOADS))
+    def test_stache_blocks_in_range(self, name):
+        factory, blocks_fn = STACHE_WORKLOADS[name]
+        n_blocks = blocks_fn(8)
+        for program in factory(n_nodes=8):
+            for op in program:
+                if op[0] in ("read", "write"):
+                    assert 0 <= op[1] < n_blocks
+
+    @pytest.mark.parametrize("name", list(LCM_WORKLOADS))
+    def test_lcm_enters_match_exits(self, name):
+        factory, _blocks = LCM_WORKLOADS[name]
+        for program in factory(n_nodes=6):
+            enters = sum(1 for op in program
+                         if op[0] == "event" and op[1] == "ENTER_LCM_FAULT")
+            exits = sum(1 for op in program
+                        if op[0] == "event" and op[1] == "EXIT_LCM_FAULT")
+            assert enters == exits
+
+    def test_generators_are_deterministic(self):
+        factory, _ = STACHE_WORKLOADS["gauss"]
+        assert factory(n_nodes=4, seed=5) == factory(n_nodes=4, seed=5)
+        assert factory(n_nodes=4, seed=5) != factory(n_nodes=4, seed=6)
+
+
+class TestDriver:
+    @pytest.mark.parametrize("name", list(STACHE_WORKLOADS))
+    def test_stache_workloads_run(self, name):
+        factory, blocks_fn = STACHE_WORKLOADS[name]
+        protocol = compile_named_protocol("stache")
+        result = run_workload(protocol, name, factory(n_nodes=8),
+                              blocks_fn(8))
+        assert result.cycles > 0
+        assert result.stats.total_faults > 0
+        assert 0.0 <= result.fault_time_fraction < 1.0
+
+    @pytest.mark.parametrize("name", list(LCM_WORKLOADS))
+    def test_lcm_workloads_run(self, name):
+        factory, blocks_fn = LCM_WORKLOADS[name]
+        protocol = compile_named_protocol("lcm")
+        result = run_workload(protocol, name, factory(n_nodes=8),
+                              blocks_fn(8))
+        assert result.cycles > 0
+
+    def test_overhead_computation(self):
+        factory, blocks_fn = STACHE_WORKLOADS["mp3d"]
+        programs = factory(n_nodes=8)
+        base = run_workload(compile_named_protocol("stache_sm"),
+                            "mp3d", [list(p) for p in programs],
+                            blocks_fn(8))
+        teapot = run_workload(compile_named_protocol("stache"),
+                              "mp3d", [list(p) for p in programs],
+                              blocks_fn(8))
+        overhead = teapot.overhead_vs(base)
+        assert overhead > 0
+        assert teapot.alloc_records >= base.alloc_records
+
+    def test_table_shape_unopt_versus_opt(self):
+        """The Table 1 relationship on one representative workload."""
+        factory, blocks_fn = STACHE_WORKLOADS["shallow"]
+        programs = factory(n_nodes=8)
+        base = run_workload(compile_named_protocol("stache_sm"),
+                            "shallow", [list(p) for p in programs],
+                            blocks_fn(8))
+        unopt = run_workload(
+            compile_named_protocol("stache", opt_level=OptLevel.O1),
+            "shallow", [list(p) for p in programs], blocks_fn(8))
+        opt = run_workload(
+            compile_named_protocol("stache", opt_level=OptLevel.O2),
+            "shallow", [list(p) for p in programs], blocks_fn(8))
+        assert base.cycles <= opt.cycles <= unopt.cycles * 1.05
+        assert opt.cont_allocs < unopt.cont_allocs

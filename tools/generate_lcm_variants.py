@@ -1,0 +1,348 @@
+#!/usr/bin/env python3
+"""Regenerate the LCM variant protocols (lcm_update/lcm_mcc/lcm_both).
+
+The variants are derived mechanically from lcm.tea, mirroring how the
+paper describes building them as modifications of the base protocol.
+Run from the repository root after editing src/repro/protocols/lcm.tea.
+"""
+base = open('src/repro/protocols/lcm.tea').read()
+
+def rep(src, old, new, what, count=None):
+    assert old in src, f"anchor missing: {what}"
+    return src.replace(old, new, count) if count else src.replace(old, new)
+
+CACHE_INV_DEFAULT = """  Message DEFAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Error("invalid msg %s to Cache_Invalid", Msg_To_Str(MessageTag));
+  End;"""
+
+
+def make_update(src, proto_name, old_name):
+    """LCM-Update: consumers park in Cache_Await_Update after exiting,
+    so the eager update they are guaranteed to receive can never be
+    orphaned by later phases (an earlier push-to-Invalid design was
+    shot down twice by the model checker)."""
+    src = rep(src, f"Protocol {old_name}\n", f"Protocol {proto_name}\n", "proto")
+    src = src.replace(f"State {old_name}.", f"State {proto_name}.")
+    src = rep(src, """  Message BEGIN_LCM_ACK;     -- home -> cache: phase entry recorded""",
+"""  Message BEGIN_LCM_ACK;     -- home -> cache: phase entry recorded
+  Message UPDATE_DATA;       -- home -> consumer: eager post-phase update""",
+        "msg decl")
+    src = rep(src, """  State Cache_Await_BeginAck { C : CONT } Transient;""",
+"""  State Cache_Await_BeginAck { C : CONT } Transient;
+  State Cache_Await_Update {} Transient;""", "state decl")
+    src = rep(src, """  Var stalePuts  : INT;          -- recalls already answered by a PUT_ACCUM""",
+"""  Var stalePuts  : INT;          -- recalls already answered by a PUT_ACCUM
+  Var updDead    : BOOL;         -- an INV_REQ overtook our pending update""",
+        "var decl")
+    # Home tracks consumers in the sharer set.
+    src = rep(src, """  Message GET_LCM_COPY_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    SendBlk(src, GET_LCM_COPY_RESP, id);
+  End;""",
+"""  Message GET_LCM_COPY_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    AddSharer(info, src);   -- remember the consumer for the eager update
+    SendBlk(src, GET_LCM_COPY_RESP, id);
+  End;""", "copy req")
+    # Phase end: push the reconciled block to every consumer.
+    src = rep(src, """  Message END_LCM (id : ID; Var info : INFO; src : NODE)
+  Begin
+    numInPhase := numInPhase - 1;
+    If (numInPhase = 0) Then
+      SetState(info, Home_Idle{});
+    Endif;
+  End;
+
+  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    numInPhase := numInPhase - 1;
+    If (numInPhase = 0) Then
+      SetState(info, Home_Idle{});
+    Endif;
+    WakeUp(id);
+  End;""",
+"""  Message END_LCM (id : ID; Var info : INFO; src : NODE)
+  Var
+    n : NODE;
+    remaining, i : INT;
+  Begin
+    numInPhase := numInPhase - 1;
+    If (numInPhase = 0) Then
+      -- Eagerly push the reconciled block to every consumer seen during
+      -- the phase; they become ordinary read-only sharers.
+      If (IsEmptySharers(info)) Then
+        SetState(info, Home_Idle{});
+      Else
+        remaining := CountSharers(info);
+        i := 0;
+        While (i < remaining) Do
+          n := NthSharer(info, i);
+          SendBlk(n, UPDATE_DATA, id);
+          i := i + 1;
+        End;
+        AccessChange(id, Blk_Downgrade_RO);
+        SetState(info, Home_RS{});
+      Endif;
+    Endif;
+  End;
+
+  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Var
+    n : NODE;
+    remaining, i : INT;
+  Begin
+    numInPhase := numInPhase - 1;
+    If (numInPhase = 0) Then
+      If (IsEmptySharers(info)) Then
+        SetState(info, Home_Idle{});
+      Else
+        remaining := CountSharers(info);
+        i := 0;
+        While (i < remaining) Do
+          n := NthSharer(info, i);
+          SendBlk(n, UPDATE_DATA, id);
+          i := i + 1;
+        End;
+        AccessChange(id, Blk_Downgrade_RO);
+        SetState(info, Home_RS{});
+      Endif;
+    Endif;
+    WakeUp(id);
+  End;""", "phase end")
+    # Consumers (clean and dirty in-phase copy holders) park awaiting
+    # their guaranteed eager update on exit.
+    src = rep(src, """  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    SendBlk(HomeNode(id), PUT_ACCUM, id);
+    AccessChange(id, Blk_Invalidate);
+    Suspend(L, Cache_Await_AccumAck{L});
+    Send(HomeNode(id), END_LCM, id);
+    SetState(info, Cache_Invalid{});
+    WakeUp(id);
+  End;""",
+"""  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    SendBlk(HomeNode(id), PUT_ACCUM, id);
+    AccessChange(id, Blk_Invalidate);
+    Suspend(L, Cache_Await_AccumAck{L});
+    Send(HomeNode(id), END_LCM, id);
+    -- As a consumer we are guaranteed an eager update at phase end;
+    -- park until it arrives so it can never be orphaned.
+    SetState(info, Cache_Await_Update{});
+    WakeUp(id);
+  End;""", "dirty consumer exit")
+    src = rep(src, """  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- Clean copy: nothing to reconcile, just drop it.
+    AccessChange(id, Blk_Invalidate);
+    Send(HomeNode(id), END_LCM, id);
+    SetState(info, Cache_Invalid{});
+    WakeUp(id);
+  End;""",
+"""  Message EXIT_LCM_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- Clean copy: drop it, but as a consumer an eager update is on
+    -- its way; park until it arrives.
+    AccessChange(id, Blk_Invalidate);
+    Send(HomeNode(id), END_LCM, id);
+    SetState(info, Cache_Await_Update{});
+    WakeUp(id);
+  End;""", "clean consumer exit")
+    # Faults queued while parked in Cache_Await_Update are redelivered
+    # at Cache_RO once the update installs; handle them there.
+    src = rep(src, """  Message PUT_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- Only a stale recall (already answered by a PUT_ACCUM) can reach
+    -- a read-only copy; absorb it.""",
+"""  Message RD_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- A read queued while we awaited the eager update; it is
+    -- satisfied by the copy the update installed.
+    WakeUp(id);
+  End;
+
+  Message WR_FAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- A write queued while we awaited the update: upgrade the fresh
+    -- read-only copy.
+    Send(HomeNode(id), UPGRADE_REQ, id);
+    Suspend(L, Cache_RO_To_RW{L});
+    WakeUp(id);
+  End;
+
+  Message PUT_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- Only a stale recall (already answered by a PUT_ACCUM) can reach
+    -- a read-only copy; absorb it.""", "cache ro stale faults")
+
+    src += f"""
+-- A consumer that left the phase and is owed the reconciled block.
+-- New work on the block queues here until the update lands.
+State {proto_name}.Cache_Await_Update{{}}
+Begin
+  Message UPDATE_DATA (id : ID; Var info : INFO; src : NODE)
+  Begin
+    If (updDead) Then
+      -- An invalidation overtook the update; install nothing.
+      updDead := False;
+      SetState(info, Cache_Invalid{{}});
+    Else
+      RecvData(id, Blk_Upgrade_RO);
+      SetState(info, Cache_RO{{}});
+    Endif;
+  End;
+
+  Message INV_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    -- A writer invalidated us before our update arrived.
+    Send(HomeNode(id), INV_ACK, id);
+    updDead := True;
+  End;
+
+  Message PUT_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    If (stalePuts > 0) Then
+      stalePuts := stalePuts - 1;
+    Endif;
+  End;
+
+  Message DEFAULT (id : ID; Var info : INFO; src : NODE)
+  Begin
+    Enqueue(MessageTag, id, info, src);
+  End;
+End;
+"""
+    return src
+
+
+def make_mcc(src, proto_name, old_name, keep_consumers=False):
+    src = rep(src, f"Protocol {old_name}\n", f"Protocol {proto_name}\n", "proto")
+    src = src.replace(f"State {old_name}.", f"State {proto_name}.")
+    src = rep(src, """  Message BEGIN_LCM_ACK;     -- home -> cache: phase entry recorded""",
+"""  Message BEGIN_LCM_ACK;     -- home -> cache: phase entry recorded
+  Message COPY_FWD_REQ;      -- home -> holder: serve a copy for me
+  Message COPY_FWD_NACK;     -- holder -> home: no longer have the copy""",
+        "msg decl")
+    plain = """  Message GET_LCM_COPY_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    SendBlk(src, GET_LCM_COPY_RESP, id);
+  End;"""
+    tracking = """  Message GET_LCM_COPY_REQ (id : ID; Var info : INFO; src : NODE)
+  Begin
+    AddSharer(info, src);   -- remember the consumer for the eager update
+    SendBlk(src, GET_LCM_COPY_RESP, id);
+  End;"""
+    delegated = """  Message GET_LCM_COPY_REQ (id : ID; Var info : INFO; src : NODE)
+  Var
+    n : NODE;
+  Begin
+    -- Distribute copy-serving across existing holders (the MCC
+    -- optimisation): pick some current holder and delegate.
+    If (IsEmptySharers(info)) Then
+      AddSharer(info, src);
+      SendBlk(src, GET_LCM_COPY_RESP, id);
+    Else
+      n := PopSharer(info);
+      AddSharer(info, n);
+      If (n = src) Then
+        AddSharer(info, src);
+        SendBlk(src, GET_LCM_COPY_RESP, id);
+      Else
+        AddSharer(info, src);
+        Send(n, COPY_FWD_REQ, id, src);
+      Endif;
+    Endif;
+  End;
+
+  Message COPY_FWD_NACK (id : ID; Var info : INFO; src : NODE;
+                         requester : NODE)
+  Begin
+    -- The delegated holder lost its copy; serve from home after all.
+    SendBlk(requester, GET_LCM_COPY_RESP, id);
+  End;"""
+    if tracking in src:
+        src = src.replace(tracking, delegated)
+    else:
+        src = rep(src, plain, delegated, "copy req")
+    if not keep_consumers:
+        # Pure MCC: the sharer set tracks *live holders* only.
+        src = rep(src, """  Message PUT_ACCUM (id : ID; Var info : INFO; src : NODE)
+  Begin
+    RecvData(id, Blk_Upgrade_RW);
+    Send(src, PUT_ACCUM_ACK, id, 0);
+  End;""",
+"""  Message PUT_ACCUM (id : ID; Var info : INFO; src : NODE)
+  Begin
+    RecvData(id, Blk_Upgrade_RW);
+    Send(src, PUT_ACCUM_ACK, id, 0);
+    DelSharer(info, src);   -- no longer a live copy holder
+  End;""", "accum delshare")
+    # Cache side: serve or bounce forwarded requests.
+    src = rep(src, f"""State {proto_name}.Cache_LCM{{}}
+Begin""",
+f"""State {proto_name}.Cache_LCM{{}}
+Begin
+  Message COPY_FWD_REQ (id : ID; Var info : INFO; src : NODE;
+                        requester : NODE)
+  Begin
+    SendBlk(requester, GET_LCM_COPY_RESP, id);
+  End;
+""", "lcm fwd")
+    src = rep(src, f"""State {proto_name}.Cache_LCM_Dirty{{}}
+Begin""",
+f"""State {proto_name}.Cache_LCM_Dirty{{}}
+Begin
+  Message COPY_FWD_REQ (id : ID; Var info : INFO; src : NODE;
+                        requester : NODE)
+  Begin
+    -- A dirty private copy still serves delegated requests: phase
+    -- copies are loose by definition.
+    SendBlk(requester, GET_LCM_COPY_RESP, id);
+  End;
+""", "lcm dirty fwd")
+    FWD_NACK = """  Message COPY_FWD_REQ (id : ID; Var info : INFO; src : NODE;
+                        requester : NODE)
+  Begin
+    -- We gave the copy up already; let the home serve the requester.
+    Send(HomeNode(id), COPY_FWD_NACK, id, requester);
+  End;
+"""
+    src = rep(src, f"""State {proto_name}.Cache_LCM_Idle{{}}
+Begin""",
+f"""State {proto_name}.Cache_LCM_Idle{{}}
+Begin
+{FWD_NACK}""", "lcm idle fwd")
+    src = rep(src, CACHE_INV_DEFAULT, FWD_NACK + "\n" + CACHE_INV_DEFAULT,
+              "cache inv fwd")
+    if f"State {proto_name}.Cache_Await_Update{{}}" in src:
+        src = rep(src, f"""State {proto_name}.Cache_Await_Update{{}}
+Begin""",
+f"""State {proto_name}.Cache_Await_Update{{}}
+Begin
+{FWD_NACK}""", "await update fwd")
+    return src
+
+
+upd = make_update(base, "LCMUpdate", "LCM")
+upd = upd.replace("-- LCM: Loosely Coherent Memory",
+    "-- LCM-Update: LCM variant \"that eagerly sends updates to consumers\"\n"
+    "-- at the end of an LCM phase (Section 6).  Derived from LCM:\n"
+    "-- Loosely Coherent Memory", 1)
+open('src/repro/protocols/lcm_update.tea', 'w').write(upd)
+
+mcc = make_mcc(base, "LCMMcc", "LCM")
+mcc = mcc.replace("-- LCM: Loosely Coherent Memory",
+    "-- LCM-MCC: LCM variant that \"manages multiple, distributed copies\"\n"
+    "-- of data as a performance optimization (Section 6): in-phase copy\n"
+    "-- requests are delegated to existing holders.  Derived from LCM:\n"
+    "-- Loosely Coherent Memory", 1)
+open('src/repro/protocols/lcm_mcc.tea', 'w').write(mcc)
+
+both = make_mcc(make_update(base, "LCMBoth", "LCM"), "LCMBoth", "LCMBoth",
+                keep_consumers=True)
+both = both.replace("-- LCM: Loosely Coherent Memory",
+    "-- LCM-Both: LCM with both the eager-update and multiple-copy\n"
+    "-- extensions (Section 6).  Derived from LCM: Loosely Coherent Memory", 1)
+open('src/repro/protocols/lcm_both.tea', 'w').write(both)
+print("variants written")

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Regenerate every figure artifact into bench_results/.
+
+Produces, without running the benchmark suite:
+
+- Graphviz ``.dot`` renderings of Figures 1, 2, and 4 (idealized and
+  hand-written state machines, both protocol sides) and of every
+  registered protocol's full state graph;
+- the Figure 10 C artifact for Stache (entry + resume fragments);
+- the Figure 6 diffstat summary.
+
+Usage:  python tools/render_figures.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.analysis import build_state_graph, protocol_diffstat
+from repro.backends import emit_c, emit_murphi
+from repro.protocols import PROTOCOLS, compile_named_protocol
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_results"
+    os.makedirs(out_dir, exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path}")
+
+    # Figures 1/2/4 from the state-machine Stache.
+    sm_graph = build_state_graph(compile_named_protocol("stache_sm"))
+    write("fig1_cache_ideal.dot",
+          sm_graph.restricted_to("Cache_").contracted().to_dot())
+    write("fig2_home_ideal.dot",
+          sm_graph.restricted_to("Home_").contracted().to_dot())
+    write("fig4_home_sm.dot", sm_graph.restricted_to("Home_").to_dot())
+    write("fig4_cache_sm.dot", sm_graph.restricted_to("Cache_").to_dot())
+
+    # Full graphs for every registered protocol.
+    for name in sorted(PROTOCOLS):
+        graph = build_state_graph(compile_named_protocol(name))
+        write(f"graph_{name}.dot", graph.to_dot())
+
+    # Figure 10: the split C for Stache.
+    write("fig10_stache.c", emit_c(compile_named_protocol("stache")))
+    write("stache.m", emit_murphi(compile_named_protocol("stache")))
+
+    # Figure 6: extension diffstat.
+    teapot = protocol_diffstat(compile_named_protocol("stache"),
+                               compile_named_protocol("stache_cas"))
+    machine = protocol_diffstat(compile_named_protocol("stache_sm"),
+                                compile_named_protocol("stache_cas_sm"))
+    write("fig6_diffstat.txt",
+          "Figure 6: cost of adding Compare&Swap\n"
+          f"Teapot: {teapot.summary()}\n"
+          f"SM:     {machine.summary()}\n")
+
+
+if __name__ == "__main__":
+    main()
