@@ -32,7 +32,6 @@ from repro.runtime.context import INFO_HANDLE
 from repro.runtime.continuation import ContinuationRecord, make_continuation
 from repro.runtime.protocol import (
     CompiledProtocol,
-    NOBODY,
     StateValue,
     default_value_for,
 )

@@ -6,8 +6,12 @@ Subcommands::
     teapot compile <file.tea> [--target python|c|murphi] [-O0|-O1|-O2]
     teapot fmt <file.tea> [-i]           canonical pretty-printing
     teapot info <file.tea>               compiled-protocol summary
-    teapot verify <name|file.tea> [...]  model-check (+ --progress liveness)
+    teapot verify <name|file.tea> [...]  model-check (--progress reporting,
+                                         --liveness starvation check,
+                                         --trace-out counterexample JSONL)
     teapot run <name|file.tea> <workload>  simulate a Table 1/2 workload
+                                         (--trace/--trace-format/--metrics)
+    teapot report <metrics.json>         pretty-print a metrics export
     teapot graph <name|file.tea>         state graph (text or dot)
     teapot list                          registered protocols
 """
@@ -120,12 +124,22 @@ def cmd_verify(args) -> int:
         events=events,
         invariants=standard_invariants(coherent=coherent),
         max_states=args.max_states,
-        check_progress=args.progress,
+        check_progress=args.liveness,
+        progress_stream=sys.stderr if args.progress else None,
+        progress_every=args.progress_every,
     )
     result = checker.run()
     print(result.summary())
+    if args.progress and result.invariant_evals:
+        evals = "  ".join(f"{name}={count}" for name, count
+                          in result.invariant_evals.items())
+        print(f"invariant evaluations: {evals}", file=sys.stderr)
     if result.violation is not None:
         print(result.violation.format_trace())
+        if args.trace_out:
+            result.violation.write_trace(args.trace_out)
+            print(f"wrote counterexample trace to {args.trace_out}",
+                  file=sys.stderr)
         return 1
     return 0
 
@@ -141,8 +155,34 @@ def cmd_run(args) -> int:
     factory, blocks_fn = workloads[args.workload]
     protocol, _name = _load(args.protocol, _opt_level(args))
     programs = factory(n_nodes=args.nodes)
-    result = run_workload(protocol, args.workload, programs,
-                          blocks_fn(args.nodes))
+
+    observer = None
+    registry = None
+    if args.trace or args.metrics:
+        from repro.obs import MetricsRegistry, Observer, open_sink
+        from repro.tempest.machine import MachineConfig
+
+        if args.metrics:
+            registry = MetricsRegistry(protocol.name)
+        observer = Observer(open_sink(args.trace, args.trace_format),
+                            registry)
+    config = None
+    if observer is not None:
+        config = MachineConfig(n_nodes=args.nodes,
+                               n_blocks=blocks_fn(args.nodes),
+                               observer=observer)
+    try:
+        result = run_workload(protocol, args.workload, programs,
+                              blocks_fn(args.nodes), config=config)
+    finally:
+        if observer is not None:
+            observer.close()
+    if args.trace:
+        print(f"wrote {args.trace_format} trace to {args.trace}",
+              file=sys.stderr)
+    if registry is not None:
+        registry.save(args.metrics)
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     counters = result.stats.counters
     print(f"workload:   {args.workload} on {args.nodes} nodes")
     print(f"protocol:   {protocol.name} "
@@ -154,6 +194,13 @@ def cmd_run(args) -> int:
     print(f"allocs:     {counters.cont_allocs} continuation records, "
           f"{counters.queue_allocs} queue records")
     print(f"fault time: {result.fault_time_fraction:.0%}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.metrics import format_metrics, load_metrics
+
+    print(format_metrics(load_metrics(args.file)))
     return 0
 
 
@@ -218,8 +265,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="network reordering bound (0 = FIFO)")
     p.add_argument("--max-states", type=int, default=2_000_000)
     p.add_argument("--progress", action="store_true",
+                   help="print states/sec progress lines (with frontier/"
+                        "visited sizes and invariant evaluation counts) "
+                        "to stderr while exploring")
+    p.add_argument("--progress-every", type=int, default=10_000,
+                   help="states between progress lines (default 10000)")
+    p.add_argument("--liveness", action="store_true",
                    help="also check liveness: every blocked thread can "
                         "reach a wake-up (catches starvation)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="dump any counterexample trace as JSONL events")
     _add_opt_flags(p)
     p.set_defaults(fn=cmd_verify)
 
@@ -229,8 +284,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="gauss|appbt|shallow|mp3d|"
                                     "adaptive|stencil|unstruct")
     p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a structured event trace of the run")
+    p.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                   default="jsonl",
+                   help="jsonl: one event per line; chrome: trace_event "
+                        "JSON for chrome://tracing / Perfetto")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write per-handler metrics JSON "
+                        "(pretty-print with `teapot report`)")
     _add_opt_flags(p)
     p.set_defaults(fn=cmd_run)
+
+    p = subparsers.add_parser(
+        "report", help="pretty-print a metrics JSON from `run --metrics`")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_report)
 
     p = subparsers.add_parser("graph", help="print the state graph")
     p.add_argument("protocol")
@@ -256,6 +325,14 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Reader went away (e.g. `teapot report ... | head`): exit
+        # quietly.  Point stdout at devnull so the interpreter's final
+        # flush does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -61,6 +61,16 @@ class RuntimeProtocolError(TeapotError):
     """
 
 
+class SimulationLimitError(RuntimeProtocolError):
+    """The simulator's ``max_events`` budget was exhausted.
+
+    Usually a livelock (a request/nack cycle that never settles) rather
+    than a protocol-semantics error; the message carries the simulated
+    cycle reached and the number of events still pending so the run can
+    be diagnosed without re-running under a tracer.
+    """
+
+
 def format_error_with_context(error: TeapotError, source: str) -> str:
     """Render ``error`` with a caret pointing into ``source``.
 

@@ -1,0 +1,43 @@
+"""Observability: structured tracing and metrics for runs and checks.
+
+The paper's evaluation is built on *seeing* protocol behaviour --
+Tables 1-2 count continuation/queue allocations and fault-wait time,
+Figure 11 reconstructs a message-reordering interleaving, and Section 7
+prints counterexample traces.  This package provides that visibility as
+a first-class, zero-dependency subsystem:
+
+- :mod:`repro.obs.sinks` -- the :class:`TraceSink` interface with a
+  near-zero-overhead :class:`NullSink` default, a :class:`JsonlSink`
+  (one structured event per line), and a :class:`ChromeTraceSink` whose
+  output loads directly in ``chrome://tracing`` / Perfetto;
+- :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of per-handler
+  counters and cycle histograms keyed by ``(state, message)``;
+- :mod:`repro.obs.observer` -- the :class:`Observer` facade the
+  simulator, runtime, and checker call into.
+
+Nothing here is imported on the hot path unless tracing is enabled: the
+simulator and interpreter guard every emit site with a single
+``obs is None`` test, so default runs are cycle- and allocation-
+identical to a build without this package.
+"""
+
+from repro.obs.metrics import MetricsRegistry, format_metrics
+from repro.obs.observer import Observer
+from repro.obs.sinks import (
+    ChromeTraceSink,
+    JsonlSink,
+    NullSink,
+    TraceSink,
+    open_sink,
+)
+
+__all__ = [
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "Observer",
+    "TraceSink",
+    "format_metrics",
+    "open_sink",
+]

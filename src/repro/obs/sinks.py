@@ -1,0 +1,217 @@
+"""Trace sinks: where structured events go.
+
+Every event is a flat dict with at least an ``ev`` kind.  The schema
+(one row per kind; optional fields in parentheses):
+
+==============  ==============================================================
+kind            fields
+==============  ==============================================================
+handler_entry   t, node, block, state, msg, src
+handler_exit    t, node, block, state, msg, start, cycles
+suspend         t, node, block, handler, site, cont, static, saved, to
+resume          t, node, block, handler, site, cont, direct
+send            t, seq, tag, block, src, dst, data, arrival
+deliver         t, seq, tag, block, src, dst, reorder
+fault_begin     t, node, block, tag
+fault_end       t, node, block, start, wait
+state           t, node, block, from, to, (args)
+queue           t, node, block, tag, depth, (state, msg)
+nack            t, node, block, tag, dst, (state, msg)
+error           t, node, text, (state, msg)
+checker_step    step, label
+violation       kind, message, (state)
+==============  ==============================================================
+
+``t`` is simulated cycles (checker events have no clock and omit it).
+``cont`` is the continuation identity ``Handler.Message#site``; the same
+string appears at the suspend that parks it and the resume that consumes
+it.  ``reorder`` marks a delivery that overtook an earlier send on the
+same src->dst channel.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+
+class TraceSink:
+    """Consumer of structured trace events.
+
+    Subclasses override :meth:`emit`; :meth:`close` flushes any
+    buffered output and must be idempotent.
+    """
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Finish the trace (default: nothing to do)."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discards everything; the default when tracing is off.
+
+    Falsy, so hosts can guard emit sites with ``if sink:``.
+    """
+
+    def emit(self, event: dict) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL_SINK = NullSink()
+
+
+def _open(path_or_stream: Union[str, IO]) -> tuple[IO, bool]:
+    if isinstance(path_or_stream, str):
+        return open(path_or_stream, "w"), True
+    return path_or_stream, False
+
+
+class JsonlSink(TraceSink):
+    """One JSON object per line, in emit order.
+
+    The canonical machine-readable format: stream it through ``jq``,
+    diff it against a golden file, or replay it into another tool.
+    """
+
+    def __init__(self, path_or_stream: Union[str, IO]):
+        self._stream, self._owns = _open(path_or_stream)
+        self.events_written = 0
+
+    def emit(self, event: dict) -> None:
+        self._stream.write(json.dumps(event, separators=(",", ":")))
+        self._stream.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+        self._stream = None
+
+
+# Chrome trace_event rows: each simulated node gets two timeline rows,
+# one for protocol handler activity and one for the application thread's
+# fault waits.  tids interleave so the rows sort adjacently per node.
+def _proto_tid(node: int) -> int:
+    return node * 2
+
+
+def _app_tid(node: int) -> int:
+    return node * 2 + 1
+
+
+class ChromeTraceSink(TraceSink):
+    """Emits Chrome ``trace_event`` JSON (the array form).
+
+    Open the output file directly in ``chrome://tracing`` or
+    https://ui.perfetto.dev: handler executions appear as complete
+    ("X") slices on one row per node, fault waits as slices on a
+    per-node application row, and sends/deliveries/suspends/resumes as
+    instant events.  Timestamps are simulated cycles interpreted as
+    microseconds.
+    """
+
+    def __init__(self, path_or_stream: Union[str, IO]):
+        self._stream, self._owns = _open(path_or_stream)
+        self._first = True
+        self._named_tids: set[int] = set()
+        self._stream.write("[\n")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _row(self, row: dict) -> None:
+        if not self._first:
+            self._stream.write(",\n")
+        self._first = False
+        self._stream.write(json.dumps(row, separators=(",", ":")))
+
+    def _name_tid(self, tid: int, name: str) -> None:
+        if tid in self._named_tids:
+            return
+        self._named_tids.add(tid)
+        self._row({"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                   "args": {"name": name}})
+
+    def _slice(self, name: str, tid: int, start: int, end: int,
+               args: dict) -> None:
+        self._row({"name": name, "ph": "X", "pid": 0, "tid": tid,
+                   "ts": start, "dur": max(end - start, 0), "args": args})
+
+    def _instant(self, name: str, tid: int, ts: int, args: dict) -> None:
+        self._row({"name": name, "ph": "i", "s": "t", "pid": 0, "tid": tid,
+                   "ts": ts, "args": args})
+
+    # -- TraceSink ---------------------------------------------------------
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("ev")
+        node = event.get("node")
+        if node is not None:
+            self._name_tid(_proto_tid(node), f"node {node} protocol")
+        if kind == "handler_exit":
+            self._slice(
+                f"{event['state']}.{event['msg']}", _proto_tid(node),
+                event["start"], event["t"],
+                {"block": event["block"], "cycles": event["cycles"]})
+        elif kind == "fault_end":
+            self._name_tid(_app_tid(node), f"node {node} app")
+            self._slice(
+                f"fault wait b{event['block']}", _app_tid(node),
+                event["start"], event["t"], {"wait": event["wait"]})
+        elif kind == "send":
+            self._name_tid(_proto_tid(event["src"]),
+                           f"node {event['src']} protocol")
+            self._instant(
+                f"send {event['tag']}", _proto_tid(event["src"]),
+                event["t"],
+                {"seq": event["seq"], "dst": event["dst"],
+                 "block": event["block"]})
+        elif kind == "deliver":
+            self._name_tid(_proto_tid(event["dst"]),
+                           f"node {event['dst']} protocol")
+            self._instant(
+                f"deliver {event['tag']}", _proto_tid(event["dst"]),
+                event["t"],
+                {"seq": event["seq"], "src": event["src"],
+                 "reorder": event["reorder"]})
+        elif kind in ("suspend", "resume", "state", "queue", "nack",
+                      "error", "fault_begin"):
+            args = {k: v for k, v in event.items() if k not in ("ev", "t")}
+            self._instant(kind, _proto_tid(node or 0),
+                          event.get("t", 0), args)
+        # handler_entry and checker events carry no extra timeline value.
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        self._stream.write("\n]\n")
+        if self._owns:
+            self._stream.close()
+        else:
+            self._stream.flush()
+        self._stream = None
+
+
+def open_sink(path: Optional[str], fmt: str = "jsonl") -> TraceSink:
+    """Build the sink a ``--trace``/``--trace-format`` pair asks for."""
+    if path is None:
+        return NULL_SINK
+    if fmt == "jsonl":
+        return JsonlSink(path)
+    if fmt == "chrome":
+        return ChromeTraceSink(path)
+    raise ValueError(f"unknown trace format {fmt!r} (jsonl|chrome)")

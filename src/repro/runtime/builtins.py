@@ -50,8 +50,12 @@ def bi_send_blk(interp, args):
 
 def bi_nack(interp, args):
     dst, tag, block = args
-    interp.ctx.counters.nacks += 1
-    interp.ctx.send(int(dst), tag, block, (), with_data=False)
+    ctx = interp.ctx
+    ctx.counters.nacks += 1
+    obs = ctx.obs
+    if obs is not None:
+        obs.nack(ctx.node, block, tag, int(dst), getattr(ctx, "now", 0))
+    ctx.send(int(dst), tag, block, (), with_data=False)
 
 
 # -- block bookkeeping ---------------------------------------------------------

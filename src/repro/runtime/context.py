@@ -9,7 +9,7 @@ block storage, cost accounting -- goes through a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.lang.errors import RuntimeProtocolError
@@ -199,6 +199,11 @@ class ProtocolContext:
 
     counters: RuntimeCounters
     costs: CostModel = ZERO_COSTS
+
+    # Observability hook (a repro.obs.Observer), or None when tracing and
+    # metrics are off.  Instrumented code guards every use with a single
+    # ``obs is None`` test, so the default path stays uninstrumented.
+    obs = None
 
     def charge(self, cycles: int) -> None:
         """Account ``cycles`` of protocol processing time (may be a no-op)."""

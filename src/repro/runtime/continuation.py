@@ -34,9 +34,16 @@ class ContinuationRecord:
     def environment(self) -> dict[str, object]:
         return dict(self.saved)
 
+    @property
+    def key(self) -> str:
+        """Identity string ``Handler.Message#site`` used by trace events:
+        the same key appears at the Suspend that parks this record and
+        the Resume that consumes it."""
+        return f"{self.handler}#{self.site_id}"
+
     def __repr__(self) -> str:
         kind = "static" if self.is_static else "heap"
-        return f"<cont {self.handler}#{self.site_id} {kind} {dict(self.saved)!r}>"
+        return f"<cont {self.key} {kind} {dict(self.saved)!r}>"
 
 
 # Statically allocated continuations are shared: one record per suspend

@@ -65,6 +65,11 @@ class HandlerInterpreter:
             return
 
         self.ctx.counters.handler_dispatches += 1
+        obs = self.ctx.obs
+        if obs is not None:
+            start = getattr(self.ctx, "now", 0)
+            obs.handler_entry(self.ctx.node, msg.block, state_name,
+                              handler.message_name, msg.src, start)
         costs = self.ctx.costs
         cycles = costs.dispatch
         if self.protocol.flavor is Flavor.TEAPOT:
@@ -77,6 +82,10 @@ class HandlerInterpreter:
 
         self._ops_executed = 0
         self._run(handler, env, handler.entry)
+        if obs is not None:
+            obs.handler_exit(self.ctx.node, msg.block, state_name,
+                             handler.message_name, start,
+                             getattr(self.ctx, "now", 0))
 
     def _initial_env(self, handler: HandlerIR, state_args: tuple) -> dict:
         env: dict[str, object] = {}
@@ -191,6 +200,13 @@ class HandlerInterpreter:
             self.ctx.charge(costs.cont_free)
         self.ctx.charge(costs.save_restore_word * len(record.saved))
 
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.resume(self.ctx.node, self.ctx.current_message.block,
+                       record.handler, record.site_id,
+                       op.direct_site is not None,
+                       getattr(self.ctx, "now", 0))
+
         target_handler, site = self.protocol.suspend_site(
             record.handler, record.site_id)
         renv: dict[str, object] = {
@@ -226,6 +242,12 @@ class HandlerInterpreter:
         record = make_continuation(
             handler.qualified_name, site.site_id, saved, is_static)
         env[site.cont_name] = record
+        obs = self.ctx.obs
+        if obs is not None:
+            obs.suspend(self.ctx.node, self.ctx.current_message.block,
+                        handler.qualified_name, site.site_id, is_static,
+                        tuple(name for name, _value in saved),
+                        site.target.name, getattr(self.ctx, "now", 0))
         args = tuple(self._eval(handler, env, a) for a in site.target.args)
         self.ctx.set_state(site.target.name, args)
 

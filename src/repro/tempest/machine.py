@@ -11,7 +11,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.lang.errors import RuntimeProtocolError
+from repro.lang.errors import RuntimeProtocolError, SimulationLimitError
+from repro.obs import Observer
 from repro.runtime.context import CostModel, Message
 from repro.runtime.protocol import CompiledProtocol
 from repro.tempest.memory import AccessTag
@@ -33,6 +34,9 @@ class MachineConfig:
     capture_prints: bool = False
     # Optional custom home mapping (block -> node); default is striping.
     home_map: Optional[Callable[[int], int]] = None
+    # Observability: None (the default) runs fully uninstrumented and is
+    # guaranteed cycle-identical to a build without repro.obs.
+    observer: Optional[Observer] = None
 
 
 @dataclass
@@ -60,10 +64,16 @@ class Machine:
                 f"need {self.config.n_nodes} programs, got {len(programs)}")
         self.support = support or {}
         self.network = Network(self.config.network)
+        self.obs = self.config.observer
         self.printed: list = []
         self._events: list = []
         self._seq = 0
         self._barrier_waiting: list[tuple[int, int]] = []  # (node, time)
+        # Tracing bookkeeping (touched only when self.obs is set):
+        # highest event seq delivered per channel, for the reorder flag,
+        # and the event-queue high-water mark.
+        self._delivered_seq_hwm: dict[tuple[int, int], int] = {}
+        self._event_queue_hwm = 0
         self.nodes = [
             Node(self, node_id, protocol, programs[node_id])
             for node_id in range(self.config.n_nodes)
@@ -87,14 +97,22 @@ class Machine:
 
     # -- event queue ---------------------------------------------------------
 
-    def _push(self, time: int, kind: str, payload) -> None:
+    def _push(self, time: int, kind: str, payload) -> int:
         self._seq += 1
         heapq.heappush(self._events, (time, self._seq, kind, payload))
+        return self._seq
 
     def inject(self, message: Message, send_time: int) -> None:
         """Called by node contexts to transmit a protocol message."""
         arrival = self.network.arrival_time(message, send_time)
-        self._push(arrival, "deliver", message)
+        seq = self._push(arrival, "deliver", message)
+        obs = self.obs
+        if obs is not None:
+            obs.send(seq, message.tag, message.block, message.src,
+                     message.dst, message.data is not None, send_time,
+                     arrival)
+            if len(self._events) > self._event_queue_hwm:
+                self._event_queue_hwm = len(self._events)
 
     def schedule_app(self, node_id: int, at_time: int) -> None:
         self._push(at_time, "app", node_id)
@@ -129,15 +147,25 @@ class Machine:
             self.schedule_app(node_id, 0)
 
         processed = 0
+        obs = self.obs
         while self._events:
             processed += 1
             if processed > self.config.max_events:
-                raise RuntimeProtocolError(
-                    f"simulation exceeded {self.config.max_events} events; "
-                    "livelock?")
-            time, _seq, kind, payload = heapq.heappop(self._events)
+                raise SimulationLimitError(
+                    f"simulation exceeded {self.config.max_events} events "
+                    f"at cycle {self._events[0][0]} with "
+                    f"{len(self._events)} events pending; livelock?")
+            time, seq, kind, payload = heapq.heappop(self._events)
             if kind == "deliver":
                 message: Message = payload
+                if obs is not None:
+                    channel = (message.src, message.dst)
+                    hwm = self._delivered_seq_hwm.get(channel, 0)
+                    obs.deliver(seq, message.tag, message.block,
+                                message.src, message.dst, time,
+                                reorder=seq < hwm)
+                    if seq > hwm:
+                        self._delivered_seq_hwm[channel] = seq
                 self.nodes[message.dst].handle_message(message, time)
             elif kind == "app":
                 self.nodes[payload].run_app(time)
@@ -175,6 +203,15 @@ class Machine:
         stats = MachineStats(nodes=[n.stats for n in self.nodes])
         stats.execution_cycles = self._execution_time()
         stats.messages = self.network.messages_carried
+        obs = self.obs
+        if obs is not None and obs.metrics is not None:
+            obs.metrics.ingest_counters(stats.counters)
+            obs.metrics.gauge("execution_cycles", stats.execution_cycles)
+            obs.metrics.gauge("messages", stats.messages)
+            obs.metrics.gauge("faults", stats.total_faults)
+            obs.metrics.gauge("fault_time_fraction",
+                              round(stats.fault_time_fraction, 4))
+            obs.metrics.gauge("event_queue_hwm", self._event_queue_hwm)
         return stats
 
     # -- post-run assertions (used by tests) -------------------------------------

@@ -31,6 +31,7 @@ class NodeContext(ProtocolContext):
         self.now = 0
         self.counters = node.stats.counters
         self.costs = node.machine.config.costs
+        self.obs = node.machine.obs
 
     def begin(self, message: Message, start_time: int) -> None:
         """Position the context for one protocol action."""
@@ -61,7 +62,13 @@ class NodeContext(ProtocolContext):
         return record.state_name, record.state_args
 
     def set_state(self, state_name: str, args: tuple) -> None:
-        self._record().set_state(state_name, args)
+        record = self._record()
+        obs = self.obs
+        if obs is not None and (
+                (state_name, args) != (record.state_name, record.state_args)):
+            obs.state_change(self.node, record.block, record.state_name,
+                             state_name, args, self.now)
+        record.set_state(state_name, args)
 
     def get_info(self, name: str):
         return self._record().info[name]
@@ -117,7 +124,13 @@ class NodeContext(ProtocolContext):
 
     def enqueue_current(self) -> None:
         self.counters.queue_allocs += 1
-        self._record().defer(self.current_message)
+        record = self._record()
+        record.defer(self.current_message)
+        obs = self.obs
+        if obs is not None:
+            obs.queue_defer(self.node, record.block,
+                            self.current_message.tag,
+                            len(record.deferred), self.now)
 
     def retry_queued(self, block: int) -> None:
         self._node.store.record(block).state_changed = True
@@ -127,6 +140,9 @@ class NodeContext(ProtocolContext):
 
     def error(self, message: str) -> None:
         self.counters.errors += 1
+        obs = self.obs
+        if obs is not None:
+            obs.error(self._node.node_id, message, self.now)
         raise RuntimeProtocolError(
             f"[node {self._node.node_id} t={self.now}] {message}")
 
@@ -166,6 +182,7 @@ class Node:
         self.busy_until = 0
         self.blocked_on: Optional[int] = None
         self.fault_start = 0
+        self.fault_block = -1  # block of the most recent fault (tracing)
         self.wake_pending = False
         self._in_app_fault = False
         self._pending_access: Optional[tuple] = None  # faulted read/write op
@@ -266,6 +283,10 @@ class Node:
         if self.wake_pending:
             self.wake_pending = False
             self.stats.fault_wait_cycles += max(0, now - self.fault_start)
+            obs = self.machine.obs
+            if obs is not None:
+                obs.fault_end(self.node_id, self.fault_block,
+                              self.fault_start, now)
 
         config = self.machine.config
         costs = config.costs
@@ -346,6 +367,10 @@ class Node:
         now += self.machine.config.costs.fault_trap
         self.blocked_on = block
         self.fault_start = now
+        self.fault_block = block
+        obs = self.machine.obs
+        if obs is not None:
+            obs.fault_begin(self.node_id, block, tag, now)
         message = Message(tag, block, src=self.node_id, dst=self.node_id,
                           payload=payload)
         self._in_app_fault = True
@@ -357,4 +382,6 @@ class Node:
         if self.blocked_on is None and self.wake_pending:
             # Satisfied without suspending: no fault wait time.
             self.wake_pending = False
+            if obs is not None:
+                obs.fault_end(self.node_id, block, self.fault_start, end)
         return end

@@ -50,13 +50,25 @@ class MachineStats:
 
     @property
     def fault_time_fraction(self) -> float:
-        """Average across nodes of (fault wait time / execution time)."""
-        if not self.nodes or self.execution_cycles == 0:
+        """Unweighted average across nodes of each node's own
+        (fault wait time / run time) fraction.
+
+        A node's run time is its ``finish_time`` when recorded (nodes
+        finish at different times, so dividing everyone by the global
+        ``execution_cycles`` would understate the fault share of nodes
+        that finished early); ``execution_cycles`` is the fallback for
+        nodes without a finish time.  Nodes with no run time at all
+        contribute a fraction of zero rather than dividing by zero.
+        """
+        if not self.nodes:
             return 0.0
-        fractions = [
-            node.fault_wait_cycles / self.execution_cycles
-            for node in self.nodes
-        ]
+        fractions = []
+        for node in self.nodes:
+            run_time = node.finish_time or self.execution_cycles
+            if run_time <= 0:
+                fractions.append(0.0)
+            else:
+                fractions.append(node.fault_wait_cycles / run_time)
         return sum(fractions) / len(fractions)
 
     @property
@@ -73,3 +85,23 @@ class MachineStats:
             f"queue_allocs={counters.queue_allocs} "
             f"fault_time={self.fault_time_fraction:.1%}"
         )
+
+    def to_metrics(self, protocol: str = ""):
+        """Export these stats as a :class:`~repro.obs.MetricsRegistry`.
+
+        The registry *delegates* to the same counters ``summary()``
+        reads, so the exported totals always match the Table 1/2
+        numbers; per-handler breakdowns are only present when a run was
+        observed with a metrics-carrying Observer (the machine fills
+        those in directly).
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(protocol)
+        registry.ingest_counters(self.counters)
+        registry.gauge("execution_cycles", self.execution_cycles)
+        registry.gauge("messages", self.messages)
+        registry.gauge("faults", self.total_faults)
+        registry.gauge("fault_time_fraction",
+                       round(self.fault_time_fraction, 4))
+        return registry

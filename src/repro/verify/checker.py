@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import IO, Optional
 
 from repro.runtime.context import Message
 from repro.runtime.exec import HandlerInterpreter
@@ -46,6 +46,31 @@ class Violation:
             lines.append(f"final state: {self.state.summary()}")
         return "\n".join(lines)
 
+    def to_events(self) -> list[dict]:
+        """The counterexample as structured trace events (the same JSONL
+        schema simulator traces use -- see :mod:`repro.obs.sinks`)."""
+        events: list[dict] = [
+            {"ev": "checker_step", "step": step, "label": label}
+            for step, label in enumerate(self.trace, 1)
+        ]
+        tail = {"ev": "violation", "kind": self.kind,
+                "message": self.message}
+        if self.state is not None:
+            tail["state"] = self.state.summary()
+        events.append(tail)
+        return events
+
+    def write_trace(self, path: str) -> None:
+        """Dump the counterexample as JSONL (``--trace-out``)."""
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(path)
+        try:
+            for event in self.to_events():
+                sink.emit(event)
+        finally:
+            sink.close()
+
 
 @dataclass
 class CheckResult:
@@ -62,6 +87,8 @@ class CheckResult:
     n_blocks: int = 1
     reorder_bound: int = 0
     hit_state_limit: bool = False
+    # Per-invariant evaluation counts (invariant name -> evaluations).
+    invariant_evals: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -97,6 +124,8 @@ class ModelChecker:
         channel_cap: int = 4,
         interpreter_factory=HandlerInterpreter,
         check_progress: bool = False,
+        progress_stream: Optional[IO] = None,
+        progress_every: int = 10_000,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -122,6 +151,13 @@ class ModelChecker:
         # bugs -- e.g. a nacked request that is never retried -- that
         # no safety invariant sees.
         self.check_progress = check_progress
+        # Progress *reporting* (distinct from the liveness check above):
+        # when a stream is given, print a states/sec line every
+        # ``progress_every`` states plus one final line, so long runs
+        # are diagnosable while they execute.
+        self.progress_stream = progress_stream
+        self.progress_every = max(1, progress_every)
+        self._invariant_evals: dict[str, int] = {}
 
     def home_of(self, block: int) -> int:
         return block % self.n_nodes
@@ -221,6 +257,11 @@ class ModelChecker:
     def run(self) -> CheckResult:
         """Breadth-first exploration from the initial state."""
         start_time = time.perf_counter()
+        self._invariant_evals = {}
+        self._named_invariants = [
+            (self._invariant_name(invariant), invariant)
+            for invariant in self.invariants
+        ]
         initial = initial_global_state(
             self.protocol, self.n_nodes, self.n_blocks, self.home_of,
             self.events.initial)
@@ -237,6 +278,10 @@ class ModelChecker:
         hit_limit = False
 
         def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
+            if self.progress_stream is not None:
+                self._report_progress(len(visited), len(frontier),
+                                      max_depth, transitions, start_time,
+                                      final=True)
             return CheckResult(
                 protocol_name=self.protocol.name,
                 ok=ok,
@@ -249,6 +294,7 @@ class ModelChecker:
                 n_blocks=self.n_blocks,
                 reorder_bound=self.reorder_bound,
                 hit_state_limit=hit_limit,
+                invariant_evals=dict(self._invariant_evals),
             )
 
         def trace_to(state: GlobalState, last_label: str) -> list[str]:
@@ -283,6 +329,11 @@ class ModelChecker:
                         hit_limit = True
                         return result(True, None)
                     visited.add(successor)
+                    if (self.progress_stream is not None
+                            and len(visited) % self.progress_every == 0):
+                        self._report_progress(len(visited), len(frontier),
+                                              max_depth, transitions,
+                                              start_time)
                     parents[successor] = (state, label)
                     if self.check_progress:
                         graph.setdefault(successor, [])
@@ -368,9 +419,35 @@ class ModelChecker:
         labels.reverse()
         return labels
 
+    def _report_progress(self, states: int, frontier_size: int,
+                         max_depth: int, transitions: int,
+                         start_time: float, final: bool = False) -> None:
+        elapsed = time.perf_counter() - start_time
+        rate = states / elapsed if elapsed > 0 else float(states)
+        evals = sum(self._invariant_evals.values())
+        suffix = "done" if final else "..."
+        print(
+            f"[verify {self.protocol.name}] states={states} "
+            f"frontier={frontier_size} depth={max_depth} "
+            f"transitions={transitions} inv_evals={evals} "
+            f"{rate:.0f} states/s {suffix}",
+            file=self.progress_stream, flush=True)
+
+    @staticmethod
+    def _invariant_name(invariant: Invariant) -> str:
+        # Closure-produced invariants (bounded_queues().check) report
+        # their factory's name; plain functions their own.
+        qualname = getattr(invariant, "__qualname__", None)
+        if qualname:
+            return qualname.split(".")[0]
+        return type(invariant).__name__
+
     def _check_invariants(self, state: GlobalState) -> Optional[str]:
-        for invariant in self.invariants:
-            message = invariant(state, self.protocol)
+        evals = self._invariant_evals
+        for invariant in self._named_invariants:
+            name = invariant[0]
+            evals[name] = evals.get(name, 0) + 1
+            message = invariant[1](state, self.protocol)
             if message is not None:
                 return message
         return None

@@ -13,13 +13,12 @@ from repro.verify.events import (
     StacheEvents,
 )
 from repro.verify.invariants import (
-    bounded_channels,
     bounded_queues,
     no_parked_continuation_leak,
     single_writer,
     standard_invariants,
 )
-from repro.verify.model import GlobalState, MutableState, initial_global_state
+from repro.verify.model import MutableState, initial_global_state
 
 from helpers import MINI_SOURCE, compile_mini
 

@@ -3,7 +3,7 @@ and the constant-continuation optimisation."""
 
 import pytest
 
-from repro.compiler.constcont import analyze_cont_flow, apply_constcont
+from repro.compiler.constcont import analyze_cont_flow
 from repro.compiler.ir import (
     TBranch,
     TGoto,

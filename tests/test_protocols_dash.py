@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.compiler.ir import TSuspend
 from repro.protocols import compile_named_protocol
 from repro.tempest.machine import Machine, MachineConfig
 from repro.tempest.memory import AccessTag

@@ -5,7 +5,7 @@ import pytest
 from repro.compiler.pipeline import compile_source
 from repro.lang.errors import RuntimeProtocolError
 from repro.runtime.continuation import ContinuationRecord, make_continuation
-from repro.runtime.exec import HandlerInterpreter, MAX_OPS_PER_ACTION
+from repro.runtime.exec import HandlerInterpreter
 from repro.runtime.protocol import NOBODY, OptLevel, StateValue
 
 from helpers import FakeContext, compile_mini
@@ -309,7 +309,6 @@ class TestCostAccounting:
         from repro.runtime.context import CostModel
 
         def charged_for(opt_level, flavor_name):
-            from repro.protocols import compile_named_protocol
             from repro.runtime.protocol import Flavor
             protocol = compile_mini(opt_level)
             protocol.flavor = (Flavor.TEAPOT if flavor_name == "teapot"

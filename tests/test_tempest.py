@@ -4,7 +4,6 @@ import pytest
 
 from repro.lang.errors import RuntimeProtocolError
 from repro.runtime.context import Message
-from repro.runtime.protocol import OptLevel
 from repro.tempest.machine import Machine, MachineConfig
 from repro.tempest.memory import (
     ACCESS_CHANGE_RESULT,

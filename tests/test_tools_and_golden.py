@@ -4,8 +4,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 from repro.backends import emit_c, emit_murphi, emit_python
 
 from helpers import compile_mini

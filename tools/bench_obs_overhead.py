@@ -1,0 +1,117 @@
+"""Measure the wall-time overhead of the observability layer.
+
+Runs the Table 1 gauss workload under Stache three ways -- unobserved,
+with a NullSink observer, and with full JSONL tracing plus metrics --
+and reports wall time per configuration.  Simulated cycles must come
+out identical in all three (the obs layer is a pure observer); the
+script fails loudly if they do not.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_obs_overhead.py [-o BENCH_obs_overhead.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs import JsonlSink, MetricsRegistry, Observer  # noqa: E402
+from repro.protocols import compile_named_protocol  # noqa: E402
+from repro.tempest.machine import Machine, MachineConfig  # noqa: E402
+from repro.workloads import STACHE_WORKLOADS  # noqa: E402
+
+N_NODES = 8
+REPEATS = 5
+
+
+def run_once(protocol, programs, n_blocks, observer):
+    config = MachineConfig(n_nodes=N_NODES, n_blocks=n_blocks,
+                           observer=observer)
+    machine = Machine(protocol, programs, config)
+    start = time.perf_counter()
+    result = machine.run()
+    elapsed = time.perf_counter() - start
+    return result.cycles, elapsed
+
+
+def bench(make_observer):
+    """Best-of-REPEATS wall time; returns (cycles, seconds, extras)."""
+    factory, blocks_fn = STACHE_WORKLOADS["gauss"]
+    protocol = compile_named_protocol("stache")
+    cycles = None
+    best = float("inf")
+    events = 0
+    for _ in range(REPEATS):
+        programs = factory(n_nodes=N_NODES)
+        observer = make_observer()
+        run_cycles, elapsed = run_once(protocol, programs,
+                                       blocks_fn(N_NODES), observer)
+        if observer is not None and isinstance(observer.sink, JsonlSink):
+            events = observer.sink.events_written
+        if observer is not None:
+            observer.close()
+        if cycles is None:
+            cycles = run_cycles
+        elif cycles != run_cycles:
+            raise SystemExit(f"non-deterministic run: {cycles} vs "
+                             f"{run_cycles} cycles")
+        best = min(best, elapsed)
+    return cycles, best, events
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_obs_overhead.json")
+    args = parser.parse_args()
+
+    configs = {
+        "unobserved": lambda: None,
+        "null_sink": lambda: Observer(),
+        "jsonl_and_metrics": lambda: Observer(JsonlSink(io.StringIO()),
+                                              MetricsRegistry("stache")),
+    }
+    rows = {}
+    cycles_seen = set()
+    for name, make_observer in configs.items():
+        cycles, seconds, events = bench(make_observer)
+        cycles_seen.add(cycles)
+        rows[name] = {"wall_seconds": round(seconds, 4),
+                      "cycles": cycles}
+        if events:
+            rows[name]["events"] = events
+        print(f"{name:20s} {seconds:8.4f}s  cycles={cycles}")
+    if len(cycles_seen) != 1:
+        raise SystemExit(f"cycle counts diverged: {sorted(cycles_seen)}")
+
+    base = rows["unobserved"]["wall_seconds"]
+    for name, row in rows.items():
+        row["overhead_pct"] = round(
+            100.0 * (row["wall_seconds"] - base) / base, 1)
+
+    report = {
+        "benchmark": "obs overhead, Table 1 gauss on stache",
+        "n_nodes": N_NODES,
+        "repeats": REPEATS,
+        "timer": "best-of-repeats wall time, machine.run() only",
+        "python": platform.python_version(),
+        "configs": rows,
+        "note": "cycles are identical by construction; overhead is "
+                "host wall time only",
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
