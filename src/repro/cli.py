@@ -12,6 +12,10 @@ Subcommands::
     teapot run <name|file.tea> <workload>  simulate a Table 1/2 workload
                                          (--trace/--trace-format/--metrics)
     teapot report <metrics.json>         pretty-print a metrics export
+    teapot analyze causal <trace>        causal chain ending at an event
+    teapot analyze critical-path <trace> per-fault wait decomposition
+    teapot analyze coverage ...          handler coverage (trace/verify)
+    teapot analyze diff <a> <b>          compare traces/coverage reports
     teapot graph <name|file.tea>         state graph (text or dot)
     teapot list                          registered protocols
 """
@@ -130,6 +134,14 @@ def cmd_verify(args) -> int:
     )
     result = checker.run()
     print(result.summary())
+    from repro.obs.analyze import coverage_from_checker
+
+    coverage = coverage_from_checker(protocol, result)
+    print(coverage.summary_line())
+    if args.coverage_out:
+        coverage.save(args.coverage_out)
+        print(f"wrote coverage report to {args.coverage_out}",
+              file=sys.stderr)
     if args.progress and result.invariant_evals:
         evals = "  ".join(f"{name}={count}" for name, count
                           in result.invariant_evals.items())
@@ -198,9 +210,138 @@ def cmd_run(args) -> int:
 
 
 def cmd_report(args) -> int:
+    import json
+
     from repro.obs.metrics import format_metrics, load_metrics
 
-    print(format_metrics(load_metrics(args.file)))
+    try:
+        payload = load_metrics(args.file)
+    except FileNotFoundError:
+        raise TeapotError(f"{args.file}: no such file") from None
+    except IsADirectoryError:
+        raise TeapotError(f"{args.file}: is a directory") from None
+    except json.JSONDecodeError as error:
+        raise TeapotError(
+            f"{args.file}: not valid JSON ({error.msg} at line "
+            f"{error.lineno}); expected a `run --metrics` export"
+        ) from None
+    try:
+        print(format_metrics(payload))
+    except (KeyError, TypeError, AttributeError):
+        raise TeapotError(
+            f"{args.file}: not a metrics export (unexpected shape); "
+            "expected a `run --metrics` file") from None
+    return 0
+
+
+def cmd_analyze_causal(args) -> int:
+    from repro.obs.analyze import TraceError, format_causal, load_trace
+
+    trace = load_trace(args.trace)
+    if args.event is not None:
+        target = args.event
+    else:
+        kinds = ((args.kind,) if args.kind
+                 else ("error", "nack", "deliver"))
+        candidates = trace.indices(*kinds)
+        if not candidates:
+            raise TraceError(
+                f"{args.trace}: no {'/'.join(kinds)} events to anchor "
+                "the chain (pick one with --event N)")
+        target = candidates[-1]
+    print(format_causal(trace, target), end="")
+    return 0
+
+
+def cmd_analyze_critpath(args) -> int:
+    from repro.obs.analyze import format_critical_path, load_trace
+
+    print(format_critical_path(load_trace(args.trace),
+                               per_fault=args.per_fault), end="")
+    return 0
+
+
+def cmd_analyze_coverage(args) -> int:
+    from repro.obs.analyze import (
+        TraceError,
+        coverage_from_checker,
+        coverage_from_trace,
+        load_trace,
+    )
+
+    if args.verify:
+        protocol, name = _load(args.verify, OptLevel.O2)
+        events = events_for_protocol(name if name in PROTOCOLS
+                                     else "stache")
+        coherent = not name.startswith("buffered")
+        checker = ModelChecker(
+            protocol,
+            n_nodes=args.nodes,
+            n_blocks=args.addresses,
+            reorder_bound=args.reorder,
+            events=events,
+            invariants=standard_invariants(coherent=coherent),
+            max_states=args.max_states,
+        )
+        result = checker.run()
+        report = coverage_from_checker(protocol, result)
+        if not result.ok:
+            print(f"note: exploration FAILED "
+                  f"({result.violation.kind}); coverage below is of "
+                  "the states reached before the violation",
+                  file=sys.stderr)
+    elif args.trace:
+        if not args.protocol:
+            raise TraceError(
+                "analyze coverage --trace needs --protocol to know the "
+                "arm universe")
+        protocol, _name = _load(args.protocol, OptLevel.O2)
+        report = coverage_from_trace(load_trace(args.trace), protocol)
+    else:
+        raise TraceError(
+            "analyze coverage needs --verify PROTOCOL or "
+            "--trace FILE --protocol PROTOCOL")
+    print(report.format(), end="")
+    if args.output:
+        report.save(args.output)
+        print(f"wrote coverage report to {args.output}", file=sys.stderr)
+    if args.strict and report.unreached:
+        return 1
+    return 0
+
+
+def cmd_analyze_diff(args) -> int:
+    from repro.obs.analyze import (
+        TraceError,
+        diff_coverage,
+        diff_traces,
+        load_coverage,
+        load_trace,
+    )
+
+    def sniff(path: str) -> str:
+        try:
+            with open(path) as handle:
+                head = handle.read(4096)
+        except FileNotFoundError:
+            raise TraceError(f"{path}: no such file") from None
+        except OSError as error:
+            raise TraceError(f"{path}: {error.strerror}") from None
+        if '"kind"' in head and '"teapot-coverage"' in head:
+            return "coverage"
+        return "trace"
+
+    kind_a, kind_b = sniff(args.a), sniff(args.b)
+    if kind_a != kind_b:
+        raise TraceError(
+            f"cannot diff a {kind_a} ({args.a}) against a {kind_b} "
+            f"({args.b})")
+    if kind_a == "coverage":
+        print(diff_coverage(load_coverage(args.a),
+                            load_coverage(args.b)), end="")
+    else:
+        print(diff_traces(load_trace(args.a), load_trace(args.b)),
+              end="")
     return 0
 
 
@@ -275,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "reach a wake-up (catches starvation)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="dump any counterexample trace as JSONL events")
+    p.add_argument("--coverage-out", metavar="PATH",
+                   help="write the handler-coverage report as JSON "
+                        "(compare runs with `teapot analyze diff`)")
     _add_opt_flags(p)
     p.set_defaults(fn=cmd_verify)
 
@@ -300,6 +444,59 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="pretty-print a metrics JSON from `run --metrics`")
     p.add_argument("file")
     p.set_defaults(fn=cmd_report)
+
+    p = subparsers.add_parser(
+        "analyze", help="ask questions of a JSONL trace "
+                        "(see docs/OBSERVABILITY.md)")
+    analyses = p.add_subparsers(dest="analysis", required=True)
+
+    q = analyses.add_parser(
+        "causal", help="happens-before chain ending at an event, "
+                       "rendered as per-node lanes (Figure 11)")
+    q.add_argument("trace", help="JSONL trace from run --trace")
+    q.add_argument("--event", type=int, metavar="N",
+                   help="target event by 0-based line index "
+                        "(default: last error/nack/delivery)")
+    q.add_argument("--kind", metavar="KIND",
+                   help="anchor at the last event of this kind "
+                        "(e.g. error, nack, deliver, fault_end)")
+    q.set_defaults(fn=cmd_analyze_causal)
+
+    q = analyses.add_parser(
+        "critical-path", help="per-fault wait decomposition: which "
+                              "handler/queue/network leg each fault's "
+                              "latency was spent in")
+    q.add_argument("trace", help="JSONL trace from run --trace")
+    q.add_argument("--per-fault", type=int, default=0, metavar="N",
+                   help="also expand the N longest-waiting faults")
+    q.set_defaults(fn=cmd_analyze_critpath)
+
+    q = analyses.add_parser(
+        "coverage", help="handler/transition coverage of a trace or of "
+                         "a checker exploration")
+    q.add_argument("--trace", metavar="PATH",
+                   help="count handler_entry events of this trace")
+    q.add_argument("--protocol", metavar="NAME|FILE",
+                   help="protocol defining the arm universe "
+                        "(required with --trace)")
+    q.add_argument("--verify", metavar="NAME|FILE",
+                   help="run the model checker and report which arms "
+                        "the exhaustive exploration fired")
+    q.add_argument("--nodes", type=int, default=2)
+    q.add_argument("--addresses", type=int, default=1)
+    q.add_argument("--reorder", type=int, default=0)
+    q.add_argument("--max-states", type=int, default=2_000_000)
+    q.add_argument("-o", "--output", metavar="PATH",
+                   help="also save the report as JSON (for diff)")
+    q.add_argument("--strict", action="store_true",
+                   help="exit 1 if any coverable arm never fired")
+    q.set_defaults(fn=cmd_analyze_coverage)
+
+    q = analyses.add_parser(
+        "diff", help="compare two traces, or two coverage reports")
+    q.add_argument("a")
+    q.add_argument("b")
+    q.set_defaults(fn=cmd_analyze_diff)
 
     p = subparsers.add_parser("graph", help="print the state graph")
     p.add_argument("protocol")

@@ -13,7 +13,10 @@ a first-class, zero-dependency subsystem:
 - :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of per-handler
   counters and cycle histograms keyed by ``(state, message)``;
 - :mod:`repro.obs.observer` -- the :class:`Observer` facade the
-  simulator, runtime, and checker call into.
+  simulator, runtime, and checker call into;
+- :mod:`repro.obs.analyze` -- the trace-analysis engine behind
+  ``teapot analyze``: happens-before vector clocks, causal chains,
+  critical-path fault attribution, handler coverage, and trace diffs.
 
 Nothing here is imported on the hot path unless tracing is enabled: the
 simulator and interpreter guard every emit site with a single
@@ -24,6 +27,7 @@ identical to a build without this package.
 from repro.obs.metrics import MetricsRegistry, format_metrics
 from repro.obs.observer import Observer
 from repro.obs.sinks import (
+    SCHEMA_VERSION,
     ChromeTraceSink,
     JsonlSink,
     NullSink,
@@ -37,6 +41,7 @@ __all__ = [
     "MetricsRegistry",
     "NullSink",
     "Observer",
+    "SCHEMA_VERSION",
     "TraceSink",
     "format_metrics",
     "open_sink",

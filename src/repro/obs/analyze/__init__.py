@@ -1,0 +1,61 @@
+"""Trace analysis: asking questions of the JSONL events PR 1 emits.
+
+The paper's evaluation is built from exactly such questions: Figure 11
+reconstructs a message-reordering interleaving (``causal``), Tables 1-2
+attribute fault-wait time to protocol behaviour (``critical-path``), and
+Section 7's claim rests on the checker having exercised every handler
+(``coverage``).  ``diff`` compares two traces or two coverage reports.
+
+Entry points::
+
+    trace   = load_trace("run.jsonl")
+    clocks  = vector_clocks(trace)              # happens-before order
+    chain   = causal_chain(trace, target_idx)   # Figure-11 style
+    faults  = fault_paths(trace)                # per-fault wait split
+    report  = coverage_from_trace(trace, protocol)
+    report  = coverage_from_checker(protocol, result, ...)
+"""
+
+from repro.obs.analyze.trace import Trace, TraceError, load_trace
+from repro.obs.analyze.order import (
+    causal_edges,
+    happens_before,
+    vector_clocks,
+)
+from repro.obs.analyze.causal import causal_chain, format_causal
+from repro.obs.analyze.critpath import (
+    FaultPath,
+    Segment,
+    fault_paths,
+    format_critical_path,
+)
+from repro.obs.analyze.coverage import (
+    CoverageReport,
+    arm_universe,
+    coverage_from_checker,
+    coverage_from_trace,
+    load_coverage,
+)
+from repro.obs.analyze.diff import diff_coverage, diff_traces
+
+__all__ = [
+    "Trace",
+    "TraceError",
+    "load_trace",
+    "vector_clocks",
+    "happens_before",
+    "causal_edges",
+    "causal_chain",
+    "format_causal",
+    "FaultPath",
+    "Segment",
+    "fault_paths",
+    "format_critical_path",
+    "CoverageReport",
+    "arm_universe",
+    "coverage_from_trace",
+    "coverage_from_checker",
+    "load_coverage",
+    "diff_traces",
+    "diff_coverage",
+]

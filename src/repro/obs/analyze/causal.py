@@ -1,0 +1,154 @@
+"""Causal-chain extraction and the Figure-11-style lane rendering.
+
+``causal_chain`` walks the happens-before relation backwards from a
+target event (typically an error, nack, or delivery of interest) and
+keeps only the events on its causal past that explain it: the message
+that triggered each handler, the send that produced each delivery, the
+suspend behind each resume, the defer behind each replay.  The result is
+rendered as one ASCII lane per node -- the same shape as the paper's
+Figure 11 reconstruction of a message-reordering window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.analyze.order import cross_edge
+from repro.obs.analyze.trace import Trace, TraceError
+
+_CROSS_KIND = {"deliver": "msg", "resume": "cont", "replay": "queue"}
+
+# Event kinds that trigger the handler_entry that immediately follows
+# them on the same node: a delivery, a queue redelivery, or a fault trap.
+_TRIGGERS = ("deliver", "replay", "fault_begin")
+
+
+def _context_maps(trace: Trace):
+    """Per-event handler context, from one pass in file order.
+
+    Returns (enclosing, last_entry, prev_on_node): the handler_entry
+    whose span covers each event (None outside spans), the most recent
+    handler_entry on the event's node (even if its span closed), and the
+    immediately preceding event on the same node.
+    """
+    enclosing: list[Optional[int]] = [None] * len(trace.events)
+    last_entry: list[Optional[int]] = [None] * len(trace.events)
+    prev_on_node: list[Optional[int]] = [None] * len(trace.events)
+    open_entry: dict[int, int] = {}
+    recent_entry: dict[int, int] = {}
+    last_seen: dict[int, int] = {}
+    for index, event in enumerate(trace.events):
+        node = trace.location(index)
+        if node is None:
+            continue
+        prev_on_node[index] = last_seen.get(node)
+        last_seen[node] = index
+        kind = event["ev"]
+        if kind == "handler_entry":
+            open_entry[node] = index
+            recent_entry[node] = index
+        else:
+            enclosing[index] = open_entry.get(node)
+            last_entry[index] = recent_entry.get(node)
+            if kind == "handler_exit":
+                open_entry.pop(node, None)
+    return enclosing, last_entry, prev_on_node
+
+
+def causal_chain(trace: Trace, target: int
+                 ) -> tuple[list[int], list[tuple[int, int, str]]]:
+    """The causal past of ``target`` that explains it.
+
+    Returns (sorted event indices including the target, edges) where
+    each edge is (src index, dst index, kind) with kind one of ``msg``,
+    ``cont``, ``queue``, ``trigger`` (the event that caused a handler
+    dispatch), and ``po`` (program-order context: the handler whose
+    execution emitted the event).
+    """
+    if not (0 <= target < len(trace.events)):
+        raise TraceError(
+            f"{trace.path}: event index {target} out of range "
+            f"(trace has {len(trace.events)} events)")
+    if trace.location(target) is None:
+        raise TraceError(
+            f"{trace.path}: event {target} "
+            f"({trace.events[target]['ev']}) has no timeline location")
+    enclosing, last_entry, prev_on_node = _context_maps(trace)
+
+    def predecessors(index: int) -> list[tuple[int, str]]:
+        event = trace.events[index]
+        kind = event["ev"]
+        found: list[tuple[int, str]] = []
+        source = cross_edge(trace, index)
+        if source is not None:
+            found.append((source, _CROSS_KIND[kind]))
+        if kind == "handler_entry":
+            previous = prev_on_node[index]
+            if previous is not None:
+                trigger = trace.events[previous]
+                if (trigger["ev"] in _TRIGGERS
+                        and trigger["block"] == event["block"]):
+                    found.append((previous, "trigger"))
+        elif kind == "replay":
+            # Caused by the handler whose state change freed the queue
+            # (its span already closed, so use the most recent entry).
+            if last_entry[index] is not None:
+                found.append((last_entry[index], "po"))
+        elif kind == "fault_end":
+            for begin, end in trace.fault_pairs:
+                if end == index:
+                    found.append((begin, "po"))
+                    break
+        elif enclosing[index] is not None:
+            found.append((enclosing[index], "po"))
+        return found
+
+    members = {target}
+    edges: list[tuple[int, int, str]] = []
+    worklist = [target]
+    while worklist:
+        index = worklist.pop()
+        for source, kind in predecessors(index):
+            edges.append((source, index, kind))
+            if source not in members:
+                members.add(source)
+                worklist.append(source)
+    edges.sort()
+    return sorted(members), edges
+
+
+def format_causal(trace: Trace, target: int) -> str:
+    """Render the chain as one timeline lane per node (Figure 11)."""
+    members, edges = causal_chain(trace, target)
+    nodes = sorted({trace.location(i) for i in members})
+    lane_of = {node: lane for lane, node in enumerate(nodes)}
+    descriptions = {i: trace.describe(i) for i in members}
+    width = max(22, max(len(d) for d in descriptions.values()) + 4)
+
+    lines = [
+        f"causal chain: {len(members)} events ending at "
+        f"#{target} ({trace.describe(target)})",
+        "",
+        "   #       t  " + "".join(
+            f"node {node}".ljust(width) for node in nodes),
+        "  --  ------  " + "".join(("-" * (width - 2) + "  ")
+                                   for _ in nodes),
+    ]
+    for index in members:
+        lane = lane_of[trace.location(index)]
+        marker = "*" if index == target else " "
+        text = descriptions[index] + (" <-- target" if index == target
+                                      else "")
+        lines.append(
+            f"{marker}{index:>3}  {trace.events[index].get('t', 0):>6}  "
+            + " " * (width * lane) + text)
+    cross = [e for e in edges if e[2] in ("msg", "cont", "queue",
+                                          "trigger")]
+    if cross:
+        lines.append("")
+        lines.append("cross edges (happens-before):")
+        for source, dest, kind in cross:
+            lines.append(f"  {kind:8}#{source:>3} -> #{dest:<3} "
+                         f"{descriptions[source]}  ==>  "
+                         f"{descriptions[dest]}")
+    return "\n".join(line.rstrip() for line in lines) + "\n"

@@ -1,0 +1,199 @@
+"""Critical-path decomposition of fault waits.
+
+For every access fault the trace records, split its wait window
+[fault_begin.t, fault_end.t] into labelled segments saying what the
+faulting thread was actually waiting *on* at each instant:
+
+- ``handler State.MSG @nN`` -- a protocol handler for the same block was
+  executing on node N (the remote home servicing the request, or the
+  local fault handler itself);
+- ``queued TAG @nN`` -- a message for the block sat in node N's deferred
+  queue (the block was in a transient state);
+- ``network TAG nA->nB`` -- a message for the block was in flight;
+- ``wait (unattributed)`` -- none of the above (scheduling gaps:
+  the servicing processor was busy with other blocks, or the woken
+  thread had not been rescheduled yet).
+
+When instants are covered by several causes the most specific wins
+(handler > queued > network > idle), so the segments of each fault
+partition its window exactly and their lengths sum to its wait.
+Summing the async waits per node reproduces the simulator's
+``fault_wait_cycles`` (and hence Table 1's fault_time_fraction)
+-- the analysis is a decomposition of that number, not an estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.analyze.trace import Trace
+
+_PRI_HANDLER = 3
+_PRI_QUEUED = 2
+_PRI_NETWORK = 1
+IDLE_LABEL = "wait (unattributed)"
+
+
+@dataclass
+class Segment:
+    """One labelled slice of a fault's wait window."""
+
+    label: str
+    start: int
+    end: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class FaultPath:
+    """One fault's full wait decomposition."""
+
+    node: int
+    block: int
+    tag: str
+    start: int
+    end: int
+    sync: bool
+    segments: list[Segment]
+
+    @property
+    def wait(self) -> int:
+        return self.end - self.start
+
+
+def _block_intervals(trace: Trace, block: int
+                     ) -> list[tuple[int, int, int, str]]:
+    """All (priority, start, end, label) intervals touching ``block``."""
+    intervals: list[tuple[int, int, int, str]] = []
+    for entry_index, exit_index in trace.handler_spans:
+        if exit_index is None:
+            continue
+        entry = trace.events[entry_index]
+        if entry["block"] != block:
+            continue
+        exit_event = trace.events[exit_index]
+        intervals.append((
+            _PRI_HANDLER, entry["t"], exit_event["t"],
+            f"handler {entry['state']}.{entry['msg']} @n{entry['node']}"))
+    for seq, send_index in trace.send_of_seq.items():
+        send = trace.events[send_index]
+        if send["block"] != block:
+            continue
+        intervals.append((
+            _PRI_NETWORK, send["t"], send["arrival"],
+            f"network {send['tag']} n{send['src']}->n{send['dst']}"))
+    for replay_index, queue_index in trace.queue_of_replay.items():
+        queue = trace.events[queue_index]
+        if queue["block"] != block:
+            continue
+        replay = trace.events[replay_index]
+        intervals.append((
+            _PRI_QUEUED, queue["t"], replay["t"],
+            f"queued {queue['tag']} @n{queue['node']}"))
+    return intervals
+
+
+def _decompose(window_start: int, window_end: int,
+               intervals: list[tuple[int, int, int, str]]) -> list[Segment]:
+    """Partition [window_start, window_end) by highest-priority cover."""
+    clipped = [
+        (priority, max(start, window_start), min(end, window_end), label)
+        for priority, start, end, label in intervals
+        if max(start, window_start) < min(end, window_end)
+    ]
+    boundaries = sorted({window_start, window_end}
+                        | {s for _p, s, _e, _l in clipped}
+                        | {e for _p, _s, e, _l in clipped})
+    segments: list[Segment] = []
+    for left, right in zip(boundaries, boundaries[1:]):
+        covering = [(priority, start, label)
+                    for priority, start, end, label in clipped
+                    if start <= left and end >= right]
+        if covering:
+            # Most specific cause wins; among equals the latest-started
+            # (the proximate one); then the label for determinism.
+            _, _, label = max(covering,
+                              key=lambda c: (c[0], c[1], c[2]))
+        else:
+            label = IDLE_LABEL
+        if segments and segments[-1].label == label:
+            segments[-1].end = right
+        else:
+            segments.append(Segment(label, left, right))
+    return segments
+
+
+def fault_paths(trace: Trace) -> list[FaultPath]:
+    """Decompose every completed fault in the trace."""
+    paths: list[FaultPath] = []
+    interval_cache: dict[int, list] = {}
+    for begin_index, end_index in trace.fault_pairs:
+        if end_index is None:
+            continue  # trace ended mid-fault
+        begin = trace.events[begin_index]
+        end = trace.events[end_index]
+        block = begin["block"]
+        if block not in interval_cache:
+            interval_cache[block] = _block_intervals(trace, block)
+        paths.append(FaultPath(
+            node=begin["node"],
+            block=block,
+            tag=begin["tag"],
+            start=begin["t"],
+            end=end["t"],
+            sync=bool(end.get("sync")),
+            segments=_decompose(begin["t"], end["t"],
+                                interval_cache[block]),
+        ))
+    return paths
+
+
+def aggregate(paths: list[FaultPath]) -> dict[str, int]:
+    """Total cycles per cause label across all faults."""
+    totals: dict[str, int] = {}
+    for path in paths:
+        for segment in path.segments:
+            totals[segment.label] = (
+                totals.get(segment.label, 0) + segment.cycles)
+    return totals
+
+
+def format_critical_path(trace: Trace, per_fault: int = 0) -> str:
+    """Render the decomposition: aggregate table plus per-fault detail.
+
+    ``per_fault`` limits how many individual faults are expanded
+    (0 = aggregate only); the longest-waiting faults are shown first.
+    """
+    paths = fault_paths(trace)
+    if not paths:
+        return "no completed faults in trace\n"
+    total_wait = sum(path.wait for path in paths)
+    async_wait = sum(path.wait for path in paths if not path.sync)
+    lines = [
+        f"critical path: {len(paths)} faults, total wait "
+        f"{total_wait} cycles "
+        f"({async_wait} async = the simulator's fault_wait_cycles)",
+        "",
+        "by cause:",
+    ]
+    totals = aggregate(paths)
+    for label, cycles in sorted(totals.items(),
+                                key=lambda item: (-item[1], item[0])):
+        share = 100.0 * cycles / total_wait if total_wait else 0.0
+        lines.append(f"  {label:44s} {cycles:>8}  {share:5.1f}%")
+    expanded = sorted(paths, key=lambda p: (-p.wait, p.start,
+                                            p.node))[:per_fault]
+    for path in expanded:
+        lines.append("")
+        lines.append(
+            f"fault n{path.node} b{path.block} {path.tag} "
+            f"t={path.start}..{path.end} wait={path.wait}"
+            + (" (sync)" if path.sync else ""))
+        for segment in path.segments:
+            lines.append(
+                f"  {segment.start:>7}..{segment.end:<7} "
+                f"{segment.label:44s} {segment.cycles:>7}")
+    return "\n".join(line.rstrip() for line in lines) + "\n"

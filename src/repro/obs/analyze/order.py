@@ -1,0 +1,96 @@
+"""The happens-before partial order over trace events.
+
+Lamport's formulation, specialised to our event kinds: event a happens
+before event b iff a precedes b on the same node's timeline (program
+order -- nodes are single processors, so their emission order is their
+execution order), or a is the ``send`` whose message b ``deliver``s
+(matched by the message seq), or a is the ``suspend`` whose continuation
+b ``resume``s (matched by continuation identity), or a is the ``queue``
+defer whose message b ``replay``s, or transitively through such pairs.
+
+Implemented as vector clocks: one pass over the trace in file order
+(a topological order -- :mod:`repro.obs.analyze.trace`) assigns each
+event a clock, and ``happens_before`` is then a componentwise
+comparison.  Concurrency (neither order) is exactly what Figure 11's
+reordering windows exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.analyze.trace import Trace, TraceError
+
+
+def cross_edge(trace: Trace, index: int) -> Optional[int]:
+    """The non-program-order predecessor of event ``index``, if any."""
+    event = trace.events[index]
+    kind = event["ev"]
+    if kind == "deliver":
+        return trace.send_of_seq.get(event["seq"])
+    if kind == "resume":
+        return trace.suspend_of.get(index)
+    if kind == "replay":
+        return trace.queue_of_replay.get(index)
+    return None
+
+
+def causal_edges(trace: Trace) -> list[tuple[int, int, str]]:
+    """Every happens-before edge as (src index, dst index, kind).
+
+    Kinds: ``po`` (program order, adjacent same-node events), ``msg``
+    (send -> deliver), ``cont`` (suspend -> resume), ``queue``
+    (defer -> replay).
+    """
+    edges: list[tuple[int, int, str]] = []
+    last_on_node: dict[int, int] = {}
+    kind_of = {"deliver": "msg", "resume": "cont", "replay": "queue"}
+    for index in range(len(trace.events)):
+        node = trace.location(index)
+        if node is None:
+            continue
+        if node in last_on_node:
+            edges.append((last_on_node[node], index, "po"))
+        last_on_node[node] = index
+        source = cross_edge(trace, index)
+        if source is not None:
+            edges.append((source, index,
+                          kind_of[trace.events[index]["ev"]]))
+    return edges
+
+
+def vector_clocks(trace: Trace) -> list[Optional[tuple[int, ...]]]:
+    """One vector clock per event (None for unlocated checker events).
+
+    Clock[i][n] counts the events on node n's timeline that happen
+    before or at event i.  ``a happens-before b`` iff clock[a] <=
+    clock[b] componentwise and a != b.
+    """
+    n_nodes = trace.n_nodes
+    clocks: list[Optional[tuple[int, ...]]] = [None] * len(trace.events)
+    current: dict[int, list[int]] = {}
+    for index in range(len(trace.events)):
+        node = trace.location(index)
+        if node is None:
+            continue
+        clock = list(current.get(node, [0] * n_nodes))
+        source = cross_edge(trace, index)
+        if source is not None:
+            source_clock = clocks[source]
+            if source_clock is None:
+                raise TraceError(
+                    f"{trace.path}: event {index} depends on event "
+                    f"{source}, which has no clock (trace out of order?)")
+            for n in range(n_nodes):
+                if source_clock[n] > clock[n]:
+                    clock[n] = source_clock[n]
+        clock[node] += 1
+        clocks[index] = tuple(clock)
+        current[node] = clock
+    return clocks
+
+
+def happens_before(clock_a: tuple[int, ...],
+                   clock_b: tuple[int, ...]) -> bool:
+    """Strict happens-before between two vector clocks."""
+    return all(a <= b for a, b in zip(clock_a, clock_b)) and clock_a != clock_b

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import NULL_SINK, TraceSink
+from repro.obs.sinks import NULL_SINK, SCHEMA_VERSION, TraceSink
 
 
 class Observer:
@@ -30,6 +30,15 @@ class Observer:
         # are atomic, so one slot suffices even with many nodes.
         self._current: Optional[tuple[str, str]] = None
 
+    @property
+    def active(self) -> bool:
+        """False when every channel is off (null sink, no metrics).
+
+        Hosts may drop an inactive Observer entirely and run the
+        uninstrumented ``obs is None`` fast path instead.
+        """
+        return bool(self.sink) or self.metrics is not None
+
     def close(self) -> None:
         self.sink.close()
 
@@ -39,8 +48,8 @@ class Observer:
                       src: int, t: int) -> None:
         self._current = (state, msg)
         if self.sink:
-            self.sink.emit({"ev": "handler_entry", "t": t, "node": node,
-                            "block": block, "state": state, "msg": msg,
+            self.sink.emit({"ev": "handler_entry", "v": SCHEMA_VERSION,
+                            "t": t, "node": node, "block": block, "state": state, "msg": msg,
                             "src": src})
 
     def handler_exit(self, node: int, block: int, state: str, msg: str,
@@ -49,8 +58,8 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_dispatch(state, msg, end - start)
         if self.sink:
-            self.sink.emit({"ev": "handler_exit", "t": end, "node": node,
-                            "block": block, "state": state, "msg": msg,
+            self.sink.emit({"ev": "handler_exit", "v": SCHEMA_VERSION,
+                            "t": end, "node": node, "block": block, "state": state, "msg": msg,
                             "start": start, "cycles": end - start})
 
     # -- continuations -----------------------------------------------------
@@ -61,7 +70,8 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_suspend(state, msg, static)
         if self.sink:
-            self.sink.emit({"ev": "suspend", "t": t, "node": node,
+            self.sink.emit({"ev": "suspend", "v": SCHEMA_VERSION, "t": t,
+                            "node": node,
                             "block": block, "handler": handler,
                             "site": site, "cont": f"{handler}#{site}",
                             "static": static, "saved": list(saved),
@@ -73,7 +83,8 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_resume(state, msg)
         if self.sink:
-            self.sink.emit({"ev": "resume", "t": t, "node": node,
+            self.sink.emit({"ev": "resume", "v": SCHEMA_VERSION, "t": t,
+                            "node": node,
                             "block": block, "handler": handler,
                             "site": site, "cont": f"{handler}#{site}",
                             "direct": direct})
@@ -87,14 +98,16 @@ class Observer:
     def send(self, seq: int, tag: str, block: int, src: int, dst: int,
              with_data: bool, t: int, arrival: int) -> None:
         if self.sink:
-            self.sink.emit({"ev": "send", "t": t, "seq": seq, "tag": tag,
+            self.sink.emit({"ev": "send", "v": SCHEMA_VERSION, "t": t,
+                            "seq": seq, "tag": tag,
                             "block": block, "src": src, "dst": dst,
                             "data": with_data, "arrival": arrival})
 
     def deliver(self, seq: int, tag: str, block: int, src: int, dst: int,
                 t: int, reorder: bool) -> None:
         if self.sink:
-            self.sink.emit({"ev": "deliver", "t": t, "seq": seq,
+            self.sink.emit({"ev": "deliver", "v": SCHEMA_VERSION, "t": t,
+                            "seq": seq,
                             "tag": tag, "block": block, "src": src,
                             "dst": dst, "reorder": reorder})
 
@@ -102,21 +115,25 @@ class Observer:
 
     def fault_begin(self, node: int, block: int, tag: str, t: int) -> None:
         if self.sink:
-            self.sink.emit({"ev": "fault_begin", "t": t, "node": node,
+            self.sink.emit({"ev": "fault_begin", "v": SCHEMA_VERSION,
+                            "t": t, "node": node,
                             "block": block, "tag": tag})
 
-    def fault_end(self, node: int, block: int, start: int, t: int) -> None:
+    def fault_end(self, node: int, block: int, start: int, t: int,
+                  sync: bool = False) -> None:
         if self.sink:
-            self.sink.emit({"ev": "fault_end", "t": t, "node": node,
+            self.sink.emit({"ev": "fault_end", "v": SCHEMA_VERSION,
+                            "t": t, "node": node,
                             "block": block, "start": start,
-                            "wait": t - start})
+                            "wait": t - start, "sync": sync})
 
     # -- state and dispositions --------------------------------------------
 
     def state_change(self, node: int, block: int, old: str, new: str,
                      args: tuple, t: int) -> None:
         if self.sink:
-            event = {"ev": "state", "t": t, "node": node, "block": block,
+            event = {"ev": "state", "v": SCHEMA_VERSION, "t": t,
+                     "node": node, "block": block,
                      "from": old, "to": new}
             if args:
                 event["args"] = [repr(a) for a in args]
@@ -128,22 +145,39 @@ class Observer:
         if self.metrics is not None and current is not None:
             self.metrics.record_queue(current[0], current[1], depth)
         if self.sink:
-            event = {"ev": "queue", "t": t, "node": node, "block": block,
+            event = {"ev": "queue", "v": SCHEMA_VERSION, "t": t,
+                     "node": node, "block": block,
                      "tag": tag, "depth": depth}
             self._attribute(event)
             self.sink.emit(event)
 
+    def queue_replay(self, node: int, block: int, tag: str, src: int,
+                     t: int) -> None:
+        """A deferred message leaves the block's queue for redelivery.
+
+        Emitted between the handler whose state change re-enabled the
+        queue and the handler the replayed message dispatches to; the
+        causal analysis pairs it with the earlier ``queue`` event so a
+        chain survives the defer/redeliver hop.
+        """
+        if self.sink:
+            self.sink.emit({"ev": "replay", "v": SCHEMA_VERSION, "t": t,
+                            "node": node, "block": block,
+                            "tag": tag, "src": src})
+
     def nack(self, node: int, block: int, tag: str, dst: int,
              t: int) -> None:
         if self.sink:
-            event = {"ev": "nack", "t": t, "node": node, "block": block,
+            event = {"ev": "nack", "v": SCHEMA_VERSION, "t": t,
+                     "node": node, "block": block,
                      "tag": tag, "dst": dst}
             self._attribute(event)
             self.sink.emit(event)
 
     def error(self, node: int, text: str, t: int) -> None:
         if self.sink:
-            event = {"ev": "error", "t": t, "node": node, "text": text}
+            event = {"ev": "error", "v": SCHEMA_VERSION, "t": t,
+                     "node": node, "text": text}
             self._attribute(event)
             self.sink.emit(event)
 

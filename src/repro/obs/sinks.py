@@ -1,7 +1,8 @@
 """Trace sinks: where structured events go.
 
-Every event is a flat dict with at least an ``ev`` kind.  The schema
-(one row per kind; optional fields in parentheses):
+Every event is a flat dict with at least an ``ev`` kind and a ``v``
+schema-version field.  The schema (one row per kind; optional fields in
+parentheses; ``v`` elided from every row):
 
 ==============  ==============================================================
 kind            fields
@@ -13,9 +14,10 @@ resume          t, node, block, handler, site, cont, direct
 send            t, seq, tag, block, src, dst, data, arrival
 deliver         t, seq, tag, block, src, dst, reorder
 fault_begin     t, node, block, tag
-fault_end       t, node, block, start, wait
+fault_end       t, node, block, start, wait, sync
 state           t, node, block, from, to, (args)
 queue           t, node, block, tag, depth, (state, msg)
+replay          t, node, block, tag, src
 nack            t, node, block, tag, dst, (state, msg)
 error           t, node, text, (state, msg)
 checker_step    step, label
@@ -26,13 +28,23 @@ violation       kind, message, (state)
 ``cont`` is the continuation identity ``Handler.Message#site``; the same
 string appears at the suspend that parks it and the resume that consumes
 it.  ``reorder`` marks a delivery that overtook an earlier send on the
-same src->dst channel.
+same src->dst channel.  ``replay`` marks a deferred message leaving the
+block's queue for redelivery; the matching ``queue`` event is the
+earlier one on the same (node, block) with the same tag.  ``sync`` on a
+fault_end marks a fault satisfied inside its own protocol action (its
+wait is protocol time, not counted in fault_wait_cycles).
+
+``SCHEMA_VERSION`` is stamped on every event so analyses can reject
+traces they do not understand.  History: version 1 events (PR 1) had no
+``v`` field; version 2 added ``v``, ``replay``, and ``fault_end.sync``.
 """
 
 from __future__ import annotations
 
 import json
 from typing import IO, Optional, Union
+
+SCHEMA_VERSION = 2
 
 
 class TraceSink:
@@ -188,9 +200,10 @@ class ChromeTraceSink(TraceSink):
                 event["t"],
                 {"seq": event["seq"], "src": event["src"],
                  "reorder": event["reorder"]})
-        elif kind in ("suspend", "resume", "state", "queue", "nack",
-                      "error", "fault_begin"):
-            args = {k: v for k, v in event.items() if k not in ("ev", "t")}
+        elif kind in ("suspend", "resume", "state", "queue", "replay",
+                      "nack", "error", "fault_begin"):
+            args = {k: v for k, v in event.items()
+                    if k not in ("ev", "t", "v")}
             self._instant(kind, _proto_tid(node or 0),
                           event.get("t", 0), args)
         # handler_entry and checker events carry no extra timeline value.

@@ -64,7 +64,13 @@ class Machine:
                 f"need {self.config.n_nodes} programs, got {len(programs)}")
         self.support = support or {}
         self.network = Network(self.config.network)
-        self.obs = self.config.observer
+        # An Observer whose channels are all off (null sink, no metrics)
+        # is dropped here so every emit site takes the uninstrumented
+        # ``obs is None`` fast path -- see BENCH_obs_overhead.json.
+        observer = self.config.observer
+        if observer is not None and not observer.active:
+            observer = None
+        self.obs = observer
         self.printed: list = []
         self._events: list = []
         self._seq = 0

@@ -225,6 +225,10 @@ class Node:
             for deferred in record.drain_deferred():
                 self.stats.counters.queue_frees += 1
                 now += self.machine.config.costs.queue_free
+                obs = self.ctx.obs
+                if obs is not None:
+                    obs.queue_replay(self.node_id, deferred.block,
+                                     deferred.tag, deferred.src, now)
                 self.ctx.begin(deferred, now)
                 self.interp.dispatch()
                 now = self.ctx.now
@@ -383,5 +387,6 @@ class Node:
             # Satisfied without suspending: no fault wait time.
             self.wake_pending = False
             if obs is not None:
-                obs.fault_end(self.node_id, block, self.fault_start, end)
+                obs.fault_end(self.node_id, block, self.fault_start, end,
+                              sync=True)
         return end

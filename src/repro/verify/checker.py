@@ -49,11 +49,14 @@ class Violation:
     def to_events(self) -> list[dict]:
         """The counterexample as structured trace events (the same JSONL
         schema simulator traces use -- see :mod:`repro.obs.sinks`)."""
+        from repro.obs.sinks import SCHEMA_VERSION
+
         events: list[dict] = [
-            {"ev": "checker_step", "step": step, "label": label}
+            {"ev": "checker_step", "v": SCHEMA_VERSION,
+             "step": step, "label": label}
             for step, label in enumerate(self.trace, 1)
         ]
-        tail = {"ev": "violation", "kind": self.kind,
+        tail = {"ev": "violation", "v": SCHEMA_VERSION, "kind": self.kind,
                 "message": self.message}
         if self.state is not None:
             tail["state"] = self.state.summary()
@@ -89,6 +92,10 @@ class CheckResult:
     hit_state_limit: bool = False
     # Per-invariant evaluation counts (invariant name -> evaluations).
     invariant_evals: dict = field(default_factory=dict)
+    # Per-handler fire counts over the whole exploration:
+    # "State.MESSAGE" -> number of dispatches (initial deliveries plus
+    # queue redeliveries).  Raw material for `teapot analyze coverage`.
+    handler_fires: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -158,6 +165,7 @@ class ModelChecker:
         self.progress_stream = progress_stream
         self.progress_every = max(1, progress_every)
         self._invariant_evals: dict[str, int] = {}
+        self._handler_fires: dict[str, int] = {}
 
     def home_of(self, block: int) -> int:
         return block % self.n_nodes
@@ -171,6 +179,7 @@ class ModelChecker:
         interp = self.interpreter_factory(self.protocol, ctx)
         record = mutable.record(node, message.block)
         record["state_changed"] = False
+        self._count_fire(record["state_name"], message.tag)
         ctx.begin(message)
         interp.dispatch()
         while record["state_changed"] and record["queue"]:
@@ -178,9 +187,22 @@ class ModelChecker:
             drained = record["queue"]
             record["queue"] = []
             for deferred in drained:
+                self._count_fire(record["state_name"], deferred.tag)
                 ctx.begin(deferred)
                 interp.dispatch()
         return ctx
+
+    def _count_fire(self, state_name: str, tag: str) -> None:
+        """Coverage accounting: the handler about to run for ``tag`` in
+        ``state_name`` (resolving DEFAULT fallback exactly like the
+        interpreter does).  Counts both initial dispatches and queue
+        redeliveries, so every arm the exploration exercises is seen."""
+        state = self.protocol.states.get(state_name)
+        handler = state.dispatch(tag) if state is not None else None
+        if handler is not None:
+            key = f"{state_name}.{handler.message_name}"
+            fires = self._handler_fires
+            fires[key] = fires.get(key, 0) + 1
 
     def _apply_app_op(self, state: GlobalState, node: int, op: tuple,
                       new_gen: tuple) -> Optional[GlobalState]:
@@ -258,6 +280,7 @@ class ModelChecker:
         """Breadth-first exploration from the initial state."""
         start_time = time.perf_counter()
         self._invariant_evals = {}
+        self._handler_fires = {}
         self._named_invariants = [
             (self._invariant_name(invariant), invariant)
             for invariant in self.invariants
@@ -295,6 +318,7 @@ class ModelChecker:
                 reorder_bound=self.reorder_bound,
                 hit_state_limit=hit_limit,
                 invariant_evals=dict(self._invariant_evals),
+                handler_fires=dict(self._handler_fires),
             )
 
         def trace_to(state: GlobalState, last_label: str) -> list[str]:

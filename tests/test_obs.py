@@ -27,7 +27,7 @@ from repro.obs import (
     open_sink,
 )
 from repro.obs.metrics import HandlerMetrics, N_BUCKETS, load_metrics
-from repro.obs.sinks import NULL_SINK
+from repro.obs.sinks import NULL_SINK, SCHEMA_VERSION
 from repro.protocols import compile_named_protocol
 from repro.runtime.context import RuntimeCounters
 from repro.tempest.machine import Machine, MachineConfig
@@ -39,6 +39,7 @@ from helpers import random_sharing_programs
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
 GOLDEN_TRACE = os.path.join(GOLDEN_DIR, "stache_2node.trace.jsonl")
+GOLDEN_CHROME = os.path.join(GOLDEN_DIR, "stache_2node.trace.chrome.json")
 
 # The deterministic 2-node scenario behind the golden trace: node 0
 # writes its home block then reads the remote one; node 1 mirrors it.
@@ -254,6 +255,28 @@ class TestObserver:
         obs.close()
         assert metrics.handler("S", "M").cycles == 12
 
+    def test_active_reflects_enabled_channels(self):
+        assert not Observer().active
+        assert not Observer(NullSink()).active
+        assert Observer(JsonlSink(io.StringIO())).active
+        assert Observer(None, MetricsRegistry()).active
+
+    def test_machine_drops_inactive_observer(self):
+        """The NullSink fast path: an all-off Observer must not slow the
+        run down, so the machine holds obs=None for it and every emit
+        site takes the uninstrumented branch."""
+        protocol = compile_named_protocol("stache")
+        inert = Machine(protocol, GOLDEN_PROGRAMS,
+                        MachineConfig(n_nodes=2, n_blocks=2,
+                                      observer=Observer()))
+        assert inert.obs is None
+        assert all(node.ctx.obs is None for node in inert.nodes)
+        live = Machine(protocol, GOLDEN_PROGRAMS,
+                       MachineConfig(n_nodes=2, n_blocks=2,
+                                     observer=Observer(
+                                         JsonlSink(io.StringIO()))))
+        assert live.obs is not None
+
 
 class TestGoldenTrace:
     """The structured trace of a fixed 2-node Stache run, line for line.
@@ -268,6 +291,20 @@ class TestGoldenTrace:
         with open(GOLDEN_TRACE) as handle:
             golden = handle.read()
         assert buffer.getvalue() == golden
+
+    def test_chrome_trace_matches_golden_file(self):
+        buffer = io.StringIO()
+        sink = ChromeTraceSink(buffer)
+        run_golden_scenario(sink)
+        sink.close()
+        with open(GOLDEN_CHROME) as handle:
+            golden = handle.read()
+        assert buffer.getvalue() == golden
+
+    def test_every_event_is_schema_stamped(self):
+        with open(GOLDEN_TRACE) as handle:
+            events = [json.loads(line) for line in handle]
+        assert all(event["v"] == SCHEMA_VERSION for event in events)
 
     def test_golden_trace_is_internally_consistent(self):
         with open(GOLDEN_TRACE) as handle:
@@ -431,6 +468,11 @@ def regenerate_golden():
     with open(GOLDEN_TRACE) as handle:
         count = sum(1 for _line in handle)
     print(f"wrote {GOLDEN_TRACE} ({count} events)")
+    with open(GOLDEN_CHROME, "w") as handle:
+        sink = ChromeTraceSink(handle)
+        run_golden_scenario(sink)
+        sink.close()
+    print(f"wrote {GOLDEN_CHROME}")
 
 
 if __name__ == "__main__":
