@@ -18,7 +18,7 @@ space, and all four protocols verify clean.
 import pytest
 
 from repro.protocols import compile_named_protocol
-from repro.verify import ModelChecker, events_for_protocol
+from repro.verify import ModelChecker, ParallelChecker, events_for_protocol
 from repro.verify.invariants import standard_invariants
 
 # (label, protocol, nodes, addresses, reordering)
@@ -30,13 +30,15 @@ TABLE3_CONFIGS = [
 ]
 
 
-def verify(name, nodes, addrs, reorder):
+def verify(name, nodes, addrs, reorder, workers=0):
     protocol = compile_named_protocol(name)
     coherent = not name.startswith("buffered")
-    checker = ModelChecker(
+    cls = ModelChecker if workers == 0 else ParallelChecker
+    extra = {} if workers == 0 else {"workers": workers}
+    checker = cls(
         protocol, n_nodes=nodes, n_blocks=addrs, reorder_bound=reorder,
         events=events_for_protocol(name),
-        invariants=standard_invariants(coherent=coherent))
+        invariants=standard_invariants(coherent=coherent), **extra)
     return checker.run()
 
 
@@ -93,3 +95,27 @@ def test_table3_reordering_explodes_the_space(benchmark, report):
     report("table3_reordering", lines)
     assert results[0].states_explored < results[1].states_explored
     assert results[1].states_explored <= results[2].states_explored
+
+
+def test_table3_parallel_consistency(benchmark, report):
+    """The sharded checker regenerates the Table 3 LCM MCC row exactly:
+    same verdict and state count as the serial exploration, at any
+    worker count."""
+
+    def measure():
+        return (verify("lcm_mcc", 2, 1, 1),
+                verify("lcm_mcc", 2, 1, 1, workers=2))
+
+    serial, sharded = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("table3_parallel", [
+        "Table 3 row LCM MCC, serial versus 2-worker sharded exploration",
+        f"serial:  {serial.states_explored} states, "
+        f"{serial.transitions} transitions, {serial.elapsed_seconds:.2f} s",
+        f"sharded: {sharded.states_explored} states, "
+        f"{sharded.transitions} transitions, {sharded.elapsed_seconds:.2f} s",
+        f"verdicts agree: {serial.ok == sharded.ok}",
+    ])
+    assert serial.ok and sharded.ok
+    assert sharded.states_explored == serial.states_explored
+    assert sharded.transitions == serial.transitions
+    assert sharded.handler_fires == serial.handler_fires

@@ -13,12 +13,12 @@ the generated artifacts:
 Run:  python examples/codegen_tour.py
 """
 
-from repro import OptLevel, compile_named_protocol
+from repro import CompileOptions, OptLevel, compile_protocol
 from repro.backends import emit_c
 
 
 def show_save_sets(level: OptLevel) -> None:
-    protocol = compile_named_protocol("stache", opt_level=level)
+    protocol = compile_protocol("stache", CompileOptions(opt_level=level))
     print(f"\n--- {level.name} ---")
     print(f"static sites: {protocol.stats.n_static_sites} / "
           f"{protocol.stats.n_suspend_sites}; inlined resumes: "
@@ -34,7 +34,7 @@ def show_save_sets(level: OptLevel) -> None:
 
 def show_generated_fragment() -> None:
     """The Figure 10 artifact: a handler split at its suspend point."""
-    protocol = compile_named_protocol("stache", opt_level=OptLevel.O2)
+    protocol = compile_protocol("stache", CompileOptions(opt_level=OptLevel.O2))
     c_code = emit_c(protocol)
     lines = c_code.splitlines()
     # Show the recall handler and its resume fragment.

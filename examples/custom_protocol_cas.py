@@ -13,17 +13,20 @@ The paper's motivating claim is that Teapot makes protocols easy to
 Run:  python examples/custom_protocol_cas.py
 """
 
-from repro import Machine, MachineConfig, ModelChecker, \
-    compile_named_protocol
+from repro.api import (
+    CheckOptions,
+    SimOptions,
+    check,
+    compile_protocol,
+    simulate,
+)
 from repro.analysis import protocol_diffstat
 from repro.verify.events import CasEvents
-from repro.verify.invariants import standard_invariants
 
 
 def run_lock_race(n_contenders: int = 6) -> None:
     """Nodes race to CAS a lock word from 0 to their id; exactly one
     must win each round."""
-    protocol = compile_named_protocol("stache_cas")
     n_nodes = n_contenders + 1  # node 0 is the home / arbiter
     programs = [[("write", 0, 0), ("barrier",), ("barrier",),
                  ("read", 0, "log")]]
@@ -33,9 +36,9 @@ def run_lock_race(n_contenders: int = 6) -> None:
             ("event", "CAS_FAULT", 0, (0, 0, node)),  # CAS word0: 0 -> id
             ("barrier",),
         ])
-    machine = Machine(protocol, programs,
-                      MachineConfig(n_nodes=n_nodes, n_blocks=1))
-    result = machine.run()
+    result = simulate("stache_cas", programs=programs,
+                      options=SimOptions(blocks=1))
+    machine = result.machine
     machine.assert_quiescent()
     machine.assert_coherent()
 
@@ -54,10 +57,10 @@ def measure_extension_cost() -> None:
     """Figure 6's point, quantified: adding CAS to the continuation
     version touches self-contained handlers; the state-machine version
     needs flags threaded through existing transitions."""
-    teapot = protocol_diffstat(compile_named_protocol("stache"),
-                               compile_named_protocol("stache_cas"))
-    machine = protocol_diffstat(compile_named_protocol("stache_sm"),
-                                compile_named_protocol("stache_cas_sm"))
+    teapot = protocol_diffstat(compile_protocol("stache"),
+                               compile_protocol("stache_cas"))
+    machine = protocol_diffstat(compile_protocol("stache_sm"),
+                                compile_protocol("stache_cas_sm"))
     print("\nextension cost (Figure 6):")
     print(f"  Teapot        : {teapot.summary()}")
     print(f"  state machine : {machine.summary()}")
@@ -69,10 +72,9 @@ def measure_extension_cost() -> None:
 
 def verify_extension() -> None:
     """The extension is verified with the same event loop plus CAS ops."""
-    protocol = compile_named_protocol("stache_cas")
-    result = ModelChecker(protocol, n_nodes=2, n_blocks=1, reorder_bound=1,
-                          events=CasEvents(),
-                          invariants=standard_invariants()).run()
+    result = check("stache_cas",
+                   CheckOptions(nodes=2, addresses=1, reorder=1,
+                                events=CasEvents()))
     print("\nverification:", result.summary())
     assert result.ok
 

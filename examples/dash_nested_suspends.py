@@ -20,13 +20,12 @@ created by its first suspension, once per outstanding ack:
 Run:  python examples/dash_nested_suspends.py
 """
 
-from repro import Machine, MachineConfig, ModelChecker, \
-    compile_named_protocol
-from repro.verify import events_for_protocol
+from repro.api import CheckOptions, SimOptions, check, compile_protocol, \
+    simulate
 
 
 def show_compiled_shape() -> None:
-    protocol = compile_named_protocol("dash")
+    protocol = compile_protocol("dash")
     print(protocol.describe())
     handler = protocol.handlers[("Cache_Invalid", "WR_FAULT")]
     print("\nCache_Invalid.WR_FAULT suspends twice:")
@@ -36,15 +35,14 @@ def show_compiled_shape() -> None:
 
 
 def run_write_with_many_readers(n_readers: int = 5) -> None:
-    protocol = compile_named_protocol("dash")
     programs = [[("barrier",), ("barrier",)]]  # the home node
     for _ in range(n_readers):
         programs.append([("read", 0), ("barrier",), ("barrier",)])
     programs.append([("barrier",), ("write", 0, 77), ("barrier",)])
 
-    machine = Machine(protocol, programs,
-                      MachineConfig(n_nodes=n_readers + 2, n_blocks=1))
-    result = machine.run()
+    result = simulate("dash", programs=programs,
+                      options=SimOptions(blocks=1))
+    machine = result.machine
     machine.assert_quiescent()
     machine.assert_coherent()
 
@@ -60,9 +58,7 @@ def run_write_with_many_readers(n_readers: int = 5) -> None:
 
 
 def verify() -> None:
-    protocol = compile_named_protocol("dash")
-    result = ModelChecker(protocol, n_nodes=3, n_blocks=1, reorder_bound=1,
-                          events=events_for_protocol("dash")).run()
+    result = check("dash", CheckOptions(nodes=3, addresses=1, reorder=1))
     print(f"\nverified: {result.summary()}")
     assert result.ok
 

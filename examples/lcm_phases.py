@@ -13,15 +13,11 @@ three protocol variants (update / MCC / both).
 Run:  python examples/lcm_phases.py
 """
 
-from repro import Machine, MachineConfig, ModelChecker, \
-    compile_named_protocol
-from repro.verify.events import LcmEvents
-from repro.verify.invariants import standard_invariants
+from repro.api import CheckOptions, SimOptions, check, simulate
 
 
 def parallel_loop(variant: str = "lcm", n_workers: int = 4) -> None:
     """A copy-in/copy-out parallel loop over one shared block."""
-    protocol = compile_named_protocol(variant)
     n_nodes = n_workers + 1
     # Node 0 (the home) initialises the data, everyone loop-processes a
     # private copy inside the phase, node 0 reads the reconciled result.
@@ -46,9 +42,9 @@ def parallel_loop(variant: str = "lcm", n_workers: int = 4) -> None:
             ("event", "EXIT_LCM_FAULT", 0),  # copy-out: reconcile
             ("barrier",),
         ])
-    machine = Machine(protocol, programs,
-                      MachineConfig(n_nodes=n_nodes, n_blocks=1))
-    result = machine.run()
+    result = simulate(variant, programs=programs,
+                      options=SimOptions(blocks=1))
+    machine = result.machine
     machine.assert_quiescent()
     final = machine.nodes[0].observed[0][1]
     counters = result.stats.counters
@@ -62,10 +58,7 @@ def parallel_loop(variant: str = "lcm", n_workers: int = 4) -> None:
 def figure_11_reordering() -> None:
     """Verify the Figure 11 scenario is handled: a BEGIN_LCM that
     reaches the home after other in-phase messages."""
-    protocol = compile_named_protocol("lcm")
-    result = ModelChecker(protocol, n_nodes=2, n_blocks=1,
-                          reorder_bound=1, events=LcmEvents(),
-                          invariants=standard_invariants()).run()
+    result = check("lcm", CheckOptions(nodes=2, addresses=1, reorder=1))
     print(f"\nFigure 11 check (reordering on): {result.summary()}")
     assert result.ok
 

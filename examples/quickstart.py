@@ -12,10 +12,15 @@ protocol written from scratch in this file:
 Run:  python examples/quickstart.py
 """
 
-from repro import MachineConfig, Machine, ModelChecker, compile_source
+from repro.api import (
+    CheckOptions,
+    CompileOptions,
+    SimOptions,
+    check,
+    compile_protocol,
+    simulate,
+)
 from repro.backends import emit_c, emit_murphi
-from repro.verify.events import StacheEvents
-from repro.verify.invariants import standard_invariants
 
 # A deliberately tiny protocol: one writable copy migrates between
 # nodes on demand.  There is no read sharing -- every access needs the
@@ -175,9 +180,11 @@ End;
 
 
 def main() -> None:
-    # 1. Compile.
-    protocol = compile_source(
-        MIGRATORY, initial_states=("Home_Idle", "Cache_Invalid"))
+    # 1. Compile.  compile_protocol also takes registered names
+    #    ("stache") and .tea file paths; raw source works too.
+    protocol = compile_protocol(
+        MIGRATORY,
+        CompileOptions(initial_states=("Home_Idle", "Cache_Invalid")))
     print("compiled:", protocol.describe(), sep="\n")
 
     # 2. Simulate: three nodes bounce a counter block around.
@@ -186,20 +193,20 @@ def main() -> None:
         [("barrier",), ("write", 0, 200), ("barrier",)],
         [("barrier",), ("barrier",), ("read", 0, "log")],
     ]
-    machine = Machine(protocol, programs,
-                      MachineConfig(n_nodes=3, n_blocks=1))
-    result = machine.run()
+    result = simulate(protocol, programs=programs,
+                      options=SimOptions(blocks=1))
+    machine = result.machine
     machine.assert_quiescent()
     print("\nsimulated:", result.stats.summary())
     print("node 2 finally read:", machine.nodes[2].observed)
     assert machine.nodes[2].observed == [(0, 200)]
 
     # 3. Model-check (2 nodes, 1 address, reordering allowed).
-    check = ModelChecker(protocol, n_nodes=2, n_blocks=1, reorder_bound=1,
-                         events=StacheEvents(),
-                         invariants=standard_invariants()).run()
-    print("\nverified:", check.summary())
-    assert check.ok
+    #    CheckOptions(workers=4) would shard the exploration across
+    #    four processes -- same verdict and state count, more cores.
+    verdict = check(protocol, CheckOptions(nodes=2, addresses=1, reorder=1))
+    print("\nverified:", verdict.summary())
+    assert verdict.ok
 
     # 4. Peek at the generated code.
     c_code = emit_c(protocol)

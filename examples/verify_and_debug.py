@@ -13,9 +13,8 @@ system."  This example shows the workflow the paper describes:
 Run:  python examples/verify_and_debug.py
 """
 
-from repro import ModelChecker, compile_source, load_protocol_source
-from repro.verify.events import StacheEvents
-from repro.verify.invariants import standard_invariants
+from repro.api import CheckOptions, CompileOptions, check, compile_protocol
+from repro.protocols import load_protocol_source
 
 # Introduce the bug: when a write request finds exactly one sharer, the
 # buggy home skips the acknowledgement wait "because a single sharer
@@ -43,22 +42,19 @@ def main() -> None:
     # requesting the writable one -- so check with 3 nodes.
     print("model checking the buggy protocol "
           "(3 nodes, 1 address, FIFO network)...")
-    buggy = compile_source(buggy_source,
-                           initial_states=("Home_Idle", "Cache_Invalid"))
-    result = ModelChecker(buggy, n_nodes=3, n_blocks=1, reorder_bound=0,
-                          events=StacheEvents(),
-                          invariants=standard_invariants()).run()
+    initial = CompileOptions(initial_states=("Home_Idle", "Cache_Invalid"))
+    buggy = compile_protocol(buggy_source, initial)
+    result = check(buggy, CheckOptions(nodes=3, addresses=1, reorder=0))
     print(result.summary())
     assert not result.ok, "the checker must catch the missing ack wait"
     print()
     print(result.violation.format_trace())
 
-    print("\nmodel checking the correct protocol...")
-    correct = compile_source(source,
-                             initial_states=("Home_Idle", "Cache_Invalid"))
-    result = ModelChecker(correct, n_nodes=2, n_blocks=1, reorder_bound=0,
-                          events=StacheEvents(),
-                          invariants=standard_invariants()).run()
+    print("\nmodel checking the correct protocol "
+          "(sharded across 2 worker processes)...")
+    correct = compile_protocol(source, initial)
+    result = check(correct,
+                   CheckOptions(nodes=2, addresses=1, reorder=0, workers=2))
     print(result.summary())
     assert result.ok
 

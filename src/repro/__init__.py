@@ -3,6 +3,8 @@
 A from-scratch reproduction of the PLDI 1996 paper by Chandra, Richards,
 and Larus.  The package contains:
 
+- ``repro.api``       -- the typed programmatic facade (compile, check,
+  simulate) -- start here
 - ``repro.lang``      -- the Teapot DSL front end (lexer, parser, checker)
 - ``repro.compiler``  -- handler splitting, liveness, and the constant
   continuation optimisation
@@ -10,47 +12,89 @@ and Larus.  The package contains:
 - ``repro.runtime``   -- executable semantics for compiled protocols
 - ``repro.tempest``   -- a Tempest-interface multiprocessor simulator
 - ``repro.protocols`` -- Stache, LCM, and their variants, in Teapot
-- ``repro.verify``    -- an explicit-state model checker
+- ``repro.verify``    -- explicit-state model checkers (serial and
+  hash-partitioned parallel)
 - ``repro.workloads`` -- the paper's application workloads, synthesised
 - ``repro.analysis``  -- state graphs, extension diffing, LoC and
   value-consistency analyses
 
-The high-level entry points are re-exported here.
+The supported entry points are the :mod:`repro.api` facade, re-exported
+here.  The historical top-level re-exports of machinery classes
+(``Machine``, ``ModelChecker``, ``compile_source``, ...) still resolve
+but emit :class:`DeprecationWarning`; import them from their home
+modules or, better, use the facade (migration map in DESIGN.md).
 """
 
-from repro.lang.parser import parse_program
-from repro.lang.typecheck import check_program
-from repro.lang.errors import TeapotError, LexError, ParseError, CheckError
-from repro.compiler.pipeline import compile_protocol, compile_source
-from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
-from repro.tempest.machine import Machine, MachineConfig, SimResult
-from repro.verify.checker import CheckResult, ModelChecker
-from repro.protocols import (
-    PROTOCOLS,
-    compile_named_protocol,
-    load_protocol_source,
+from repro.api import (
+    CheckOptions,
+    CompileOptions,
+    SimOptions,
+    SimulateResult,
+    check,
+    compile_protocol,
+    simulate,
 )
+from repro.lang.errors import CheckError, LexError, ParseError, TeapotError
+from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
+from repro.verify.checker import CheckResult
 
 __all__ = [
-    "parse_program",
-    "check_program",
+    # The facade.
+    "compile_protocol",
+    "check",
+    "simulate",
+    "CompileOptions",
+    "CheckOptions",
+    "SimOptions",
+    "SimulateResult",
+    "CheckResult",
+    # Stable core types and errors.
+    "CompiledProtocol",
+    "OptLevel",
+    "Flavor",
     "TeapotError",
     "LexError",
     "ParseError",
     "CheckError",
-    "compile_protocol",
-    "compile_source",
-    "OptLevel",
-    "Flavor",
-    "CompiledProtocol",
-    "Machine",
-    "MachineConfig",
-    "SimResult",
-    "ModelChecker",
-    "CheckResult",
-    "PROTOCOLS",
-    "load_protocol_source",
-    "compile_named_protocol",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+# Deprecated top-level names, resolved lazily so importing them warns
+# exactly once per site: name -> (home module, attribute, replacement).
+_DEPRECATED = {
+    "parse_program": ("repro.lang.parser", "parse_program",
+                      "repro.lang.parser.parse_program"),
+    "check_program": ("repro.lang.typecheck", "check_program",
+                      "repro.lang.typecheck.check_program"),
+    "compile_source": ("repro.compiler.pipeline", "compile_source",
+                       "repro.api.compile_protocol"),
+    "Machine": ("repro.tempest.machine", "Machine",
+                "repro.api.simulate"),
+    "MachineConfig": ("repro.tempest.machine", "MachineConfig",
+                      "repro.api.SimOptions"),
+    "SimResult": ("repro.tempest.machine", "SimResult",
+                  "repro.api.SimulateResult"),
+    "ModelChecker": ("repro.verify.checker", "ModelChecker",
+                     "repro.api.check"),
+    "PROTOCOLS": ("repro.protocols", "PROTOCOLS",
+                  "repro.protocols.PROTOCOLS"),
+    "load_protocol_source": ("repro.protocols", "load_protocol_source",
+                             "repro.protocols.load_protocol_source"),
+    "compile_named_protocol": ("repro.protocols", "compile_named_protocol",
+                               "repro.api.compile_protocol"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        import importlib
+        import warnings
+
+        module_name, attribute, replacement = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {name!r} from the top-level repro package is "
+            f"deprecated; use {replacement} instead",
+            DeprecationWarning, stacklevel=2)
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

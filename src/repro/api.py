@@ -1,0 +1,300 @@
+"""The typed programmatic facade: compile, check, simulate.
+
+Everything the ``teapot`` CLI can do is available here as three
+functions over three frozen option records::
+
+    from repro.api import CheckOptions, check, compile_protocol, simulate
+
+    protocol = compile_protocol("stache")
+    result = check(protocol, CheckOptions(nodes=2, reorder=1))
+    row = simulate("stache", workload="gauss")
+
+``compile_protocol`` accepts a registered protocol name, a path to a
+``.tea`` file, raw Teapot source text (anything containing a newline),
+or an already-compiled :class:`~repro.runtime.protocol.CompiledProtocol`
+(returned unchanged), so the other entry points compose: ``check`` and
+``simulate`` take the same ``target`` union.
+
+``check`` dispatches on :attr:`CheckOptions.workers`: ``0`` (the
+default) runs the in-process serial
+:class:`~repro.verify.checker.ModelChecker`; ``>= 1`` runs the sharded
+:class:`~repro.verify.parallel.ParallelChecker` across that many worker
+processes.  Both return the same
+:class:`~repro.verify.checker.CheckResult`.
+
+The option records are frozen on purpose: a configuration is a value
+you can build once, share, and trust not to drift mid-run.  Derive
+variants with :func:`dataclasses.replace`.
+
+This module replaced ad-hoc imports of ``Machine``/``ModelChecker``
+from the top-level ``repro`` package; those names still work but emit
+:class:`DeprecationWarning` (see DESIGN.md for the migration map).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import IO, Optional, Union
+
+from repro.compiler.pipeline import compile_source
+from repro.protocols import PROTOCOLS, compile_named_protocol
+from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
+from repro.tempest.machine import Machine, MachineConfig
+from repro.tempest.network import NetworkConfig
+from repro.tempest.stats import MachineStats
+from repro.verify.checker import CheckResult, ModelChecker
+from repro.verify.events import EventGenerator, events_for_protocol
+from repro.verify.invariants import standard_invariants
+from repro.verify.parallel import ParallelChecker
+
+Target = Union[str, CompiledProtocol]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """How to turn a target into a :class:`CompiledProtocol`."""
+
+    opt_level: OptLevel = OptLevel.O2
+    # None = the registry's flavor for named protocols, TEAPOT otherwise.
+    flavor: Optional[Flavor] = None
+    # Initial (cache, home) state names for raw source without them.
+    initial_states: Optional[tuple[str, str]] = None
+    filename: str = "<string>"
+
+
+@dataclass(frozen=True)
+class CheckOptions:
+    """Model-checking configuration (one Table 3 cell)."""
+
+    nodes: int = 2
+    addresses: int = 1
+    reorder: int = 0
+    max_states: int = 2_000_000
+    # 0 = serial in-process checker; >= 1 = that many worker processes.
+    workers: int = 0
+    # Liveness (starvation) checking; serial-only, needs the full graph.
+    liveness: bool = False
+    # None = infer from the protocol (buffered-write relaxes coherence).
+    coherent: Optional[bool] = None
+    channel_cap: int = 4
+    # Serial hash compaction: key the visited set by 64-bit fingerprints.
+    # The parallel checker always fingerprints.
+    fingerprints: bool = False
+    progress: bool = False
+    progress_every: int = 10_000
+    progress_stream: Optional[IO] = None
+    # Parallel only: dump a resumable JSON checkpoint on truncation or
+    # interrupt / continue from one.
+    checkpoint_out: Optional[str] = None
+    resume: Optional[str] = None
+    events: Optional[EventGenerator] = None
+    compile: CompileOptions = CompileOptions()
+
+
+@dataclass(frozen=True)
+class SimOptions:
+    """Simulator configuration (Table 1/2 runs)."""
+
+    nodes: int = 16
+    # None = the workload's conventional block count.
+    blocks: Optional[int] = None
+    # Network: seed the delay RNG (None = the default seed) and allow
+    # up to ``jitter`` cycles of random extra latency.  jitter > 0
+    # drops per-channel FIFO unless ``fifo`` pins it, so reordering is
+    # reproducible from the seed alone.
+    seed: Optional[int] = None
+    jitter: int = 0
+    fifo: Optional[bool] = None
+    trace: Optional[str] = None
+    trace_format: str = "jsonl"
+    metrics: Optional[str] = None
+    compile: CompileOptions = CompileOptions()
+
+
+@dataclass
+class SimulateResult:
+    """Outcome of :func:`simulate`."""
+
+    protocol_name: str
+    workload: Optional[str]
+    cycles: int
+    stats: MachineStats
+    # The machine itself, for inspection beyond the aggregate stats
+    # (e.g. per-node observed values in the examples).
+    machine: Optional[Machine] = None
+    # The Table 1/2 row, when a registered workload was run.
+    table_row: Optional[object] = None
+
+    @property
+    def fault_time_fraction(self) -> float:
+        return self.stats.fault_time_fraction
+
+
+def _registry_label(target: Target) -> str:
+    """The name used for events/invariant inference (CLI semantics)."""
+    if isinstance(target, str):
+        return target
+    return target.name
+
+
+def compile_protocol(target: Target,
+                     options: CompileOptions = CompileOptions(),
+                     ) -> CompiledProtocol:
+    """Compile a registered name, ``.tea`` path, or source text.
+
+    Already-compiled protocols pass through unchanged.  A string with a
+    newline is treated as source text; otherwise it must be a registered
+    protocol name (see ``teapot list``) or a path to a ``.tea`` file.
+    """
+    if isinstance(target, CompiledProtocol):
+        return target
+    if not isinstance(target, str):
+        raise TypeError(
+            f"target must be a protocol name, .tea path, source text, or "
+            f"CompiledProtocol, not {type(target).__name__}")
+    if "\n" in target:
+        return compile_source(
+            target, opt_level=options.opt_level,
+            flavor=options.flavor or Flavor.TEAPOT,
+            initial_states=options.initial_states,
+            filename=options.filename)
+    if target in PROTOCOLS:
+        return compile_named_protocol(
+            target, opt_level=options.opt_level, flavor=options.flavor)
+    with open(target) as handle:
+        source = handle.read()
+    return compile_source(
+        source, opt_level=options.opt_level,
+        flavor=options.flavor or Flavor.TEAPOT,
+        initial_states=options.initial_states,
+        filename=target)
+
+
+def check(target: Target,
+          options: CheckOptions = CheckOptions()) -> CheckResult:
+    """Model-check a protocol; serial or parallel per ``options.workers``."""
+    protocol = compile_protocol(target, options.compile)
+    label = _registry_label(target)
+    events = options.events
+    if events is None:
+        events = events_for_protocol(label if label in PROTOCOLS
+                                     else "stache")
+    coherent = options.coherent
+    if coherent is None:
+        coherent = not (label.lower().startswith("buffered")
+                        or protocol.name.lower().startswith("buffered"))
+    invariants = standard_invariants(coherent=coherent)
+    progress_stream = options.progress_stream
+    if progress_stream is None and options.progress:
+        progress_stream = sys.stderr
+
+    if options.workers < 0:
+        raise ValueError("CheckOptions.workers must be >= 0")
+    if options.workers == 0:
+        if options.checkpoint_out or options.resume:
+            raise ValueError(
+                "checkpoint/resume requires the parallel checker "
+                "(CheckOptions.workers >= 1)")
+        return ModelChecker(
+            protocol,
+            n_nodes=options.nodes,
+            n_blocks=options.addresses,
+            reorder_bound=options.reorder,
+            events=events,
+            invariants=invariants,
+            max_states=options.max_states,
+            channel_cap=options.channel_cap,
+            check_progress=options.liveness,
+            progress_stream=progress_stream,
+            progress_every=options.progress_every,
+            fingerprint_states=options.fingerprints,
+        ).run()
+
+    if options.liveness:
+        raise ValueError(
+            "liveness checking needs the full state graph and is "
+            "serial-only (CheckOptions.workers must be 0)")
+    return ParallelChecker(
+        protocol,
+        n_nodes=options.nodes,
+        n_blocks=options.addresses,
+        reorder_bound=options.reorder,
+        events=events,
+        invariants=invariants,
+        workers=options.workers,
+        max_states=options.max_states,
+        channel_cap=options.channel_cap,
+        progress_stream=progress_stream,
+        progress_every=options.progress_every,
+        checkpoint_out=options.checkpoint_out,
+        resume=options.resume,
+    ).run()
+
+
+def simulate(target: Target,
+             workload: Optional[str] = None,
+             programs: Optional[list] = None,
+             options: SimOptions = SimOptions()) -> SimulateResult:
+    """Simulate a registered workload, or caller-supplied programs.
+
+    Exactly one of ``workload`` (a name from
+    :data:`repro.workloads.STACHE_WORKLOADS` /
+    :data:`~repro.workloads.LCM_WORKLOADS`) and ``programs`` (a list of
+    per-node thread programs, one per node) must be given.
+    """
+    from repro.workloads import LCM_WORKLOADS, STACHE_WORKLOADS, run_workload
+
+    if (workload is None) == (programs is None):
+        raise ValueError("pass exactly one of workload= or programs=")
+    protocol = compile_protocol(target, options.compile)
+
+    n_nodes = options.nodes
+    if workload is not None:
+        table = {**STACHE_WORKLOADS, **LCM_WORKLOADS}
+        if workload not in table:
+            raise ValueError(
+                f"unknown workload {workload!r}; known: "
+                + ", ".join(sorted(table)))
+        factory, blocks_fn = table[workload]
+        programs = factory(n_nodes=n_nodes)
+        n_blocks = options.blocks or blocks_fn(n_nodes)
+    else:
+        n_nodes = len(programs)
+        n_blocks = options.blocks or 64
+
+    network = NetworkConfig(
+        jitter=options.jitter,
+        fifo=(options.jitter == 0) if options.fifo is None else options.fifo,
+        seed=options.seed if options.seed is not None else 12345,
+    )
+    observer = None
+    registry = None
+    if options.trace or options.metrics:
+        from repro.obs import MetricsRegistry, Observer, open_sink
+
+        if options.metrics:
+            registry = MetricsRegistry(protocol.name)
+        observer = Observer(open_sink(options.trace, options.trace_format),
+                            registry)
+    config = MachineConfig(n_nodes=n_nodes, n_blocks=n_blocks,
+                           network=network, observer=observer)
+    try:
+        if workload is not None:
+            row = run_workload(protocol, workload, programs, n_blocks,
+                               config=config)
+            result = SimulateResult(
+                protocol_name=protocol.name, workload=workload,
+                cycles=row.cycles, stats=row.stats, table_row=row)
+        else:
+            machine = Machine(protocol, programs, config)
+            sim = machine.run()
+            result = SimulateResult(
+                protocol_name=protocol.name, workload=None,
+                cycles=sim.cycles, stats=sim.stats, machine=machine)
+    finally:
+        if observer is not None:
+            observer.close()
+    if registry is not None:
+        registry.save(options.metrics)
+    return result

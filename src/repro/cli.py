@@ -25,26 +25,41 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import api
+from repro.api import CheckOptions, CompileOptions, SimOptions
 from repro.backends import emit_c, emit_murphi, emit_python
-from repro.compiler.pipeline import compile_source
 from repro.lang.errors import TeapotError, format_error_with_context
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import check_program
 from repro.runtime.protocol import OptLevel
-from repro.protocols import PROTOCOLS, compile_named_protocol
-from repro.verify import ModelChecker, events_for_protocol
-from repro.verify.invariants import standard_invariants
+from repro.protocols import PROTOCOLS
+from repro.verify import events_for_protocol
 from repro.analysis import build_state_graph
 
 
 def _load(target: str, opt_level: OptLevel):
     """Compile a registered protocol name or a .tea file path."""
-    if target in PROTOCOLS:
-        return compile_named_protocol(target, opt_level=opt_level), target
-    with open(target) as handle:
-        source = handle.read()
-    return compile_source(source, opt_level=opt_level,
-                          filename=target), target
+    options = CompileOptions(opt_level=opt_level)
+    return api.compile_protocol(target, options), target
+
+
+def _check_options(args, name: str, workers: int = 0,
+                   **extra) -> CheckOptions:
+    """CLI verify/coverage flags -> a CheckOptions record.
+
+    Events and coherence follow the registry *name* the user typed
+    (a ``.tea`` path falls back to the Stache event loop), matching the
+    historical CLI behaviour.
+    """
+    return CheckOptions(
+        nodes=args.nodes,
+        addresses=args.addresses,
+        reorder=args.reorder,
+        max_states=args.max_states,
+        workers=workers,
+        events=events_for_protocol(name if name in PROTOCOLS else "stache"),
+        coherent=not name.startswith("buffered"),
+        **extra)
 
 
 def _opt_level(args) -> OptLevel:
@@ -118,22 +133,34 @@ def cmd_info(args) -> int:
 
 def cmd_verify(args) -> int:
     protocol, name = _load(args.protocol, _opt_level(args))
-    events = events_for_protocol(name if name in PROTOCOLS else "stache")
-    coherent = not name.startswith("buffered")
-    checker = ModelChecker(
-        protocol,
-        n_nodes=args.nodes,
-        n_blocks=args.addresses,
-        reorder_bound=args.reorder,
-        events=events,
-        invariants=standard_invariants(coherent=coherent),
-        max_states=args.max_states,
-        check_progress=args.liveness,
-        progress_stream=sys.stderr if args.progress else None,
+    options = _check_options(
+        args, name,
+        workers=args.workers,
+        liveness=args.liveness,
+        fingerprints=args.fingerprints,
+        progress=args.progress,
         progress_every=args.progress_every,
+        checkpoint_out=args.checkpoint_out,
+        resume=args.resume,
     )
-    result = checker.run()
+    try:
+        result = api.check(protocol, options)
+    except KeyboardInterrupt:
+        if args.checkpoint_out:
+            print(f"\ninterrupted; resumable checkpoint written to "
+                  f"{args.checkpoint_out} (continue with --resume)",
+                  file=sys.stderr)
+            return 130
+        raise
     print(result.summary())
+    if not result.exhausted:
+        note = (f"note: exploration truncated at "
+                f"{result.states_explored} states "
+                f"(--max-states {args.max_states}): PASS covers only "
+                "the explored prefix, not the full state space")
+        if args.checkpoint_out:
+            note += f"; resume with --resume {args.checkpoint_out}"
+        print(note)
     from repro.obs.analyze import coverage_from_checker
 
     coverage = coverage_from_checker(protocol, result)
@@ -157,46 +184,30 @@ def cmd_verify(args) -> int:
 
 
 def cmd_run(args) -> int:
-    from repro.workloads import LCM_WORKLOADS, STACHE_WORKLOADS, run_workload
-
-    workloads = {**STACHE_WORKLOADS, **LCM_WORKLOADS}
-    if args.workload not in workloads:
-        print(f"error: unknown workload {args.workload!r}; known: "
-              + ", ".join(sorted(workloads)), file=sys.stderr)
-        return 1
-    factory, blocks_fn = workloads[args.workload]
     protocol, _name = _load(args.protocol, _opt_level(args))
-    programs = factory(n_nodes=args.nodes)
-
-    observer = None
-    registry = None
-    if args.trace or args.metrics:
-        from repro.obs import MetricsRegistry, Observer, open_sink
-        from repro.tempest.machine import MachineConfig
-
-        if args.metrics:
-            registry = MetricsRegistry(protocol.name)
-        observer = Observer(open_sink(args.trace, args.trace_format),
-                            registry)
-    config = None
-    if observer is not None:
-        config = MachineConfig(n_nodes=args.nodes,
-                               n_blocks=blocks_fn(args.nodes),
-                               observer=observer)
+    options = SimOptions(
+        nodes=args.nodes,
+        seed=args.seed,
+        jitter=args.jitter,
+        trace=args.trace,
+        trace_format=args.trace_format,
+        metrics=args.metrics,
+    )
     try:
-        result = run_workload(protocol, args.workload, programs,
-                              blocks_fn(args.nodes), config=config)
-    finally:
-        if observer is not None:
-            observer.close()
+        result = api.simulate(protocol, workload=args.workload,
+                              options=options)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if args.trace:
         print(f"wrote {args.trace_format} trace to {args.trace}",
               file=sys.stderr)
-    if registry is not None:
-        registry.save(args.metrics)
+    if args.metrics:
         print(f"wrote metrics to {args.metrics}", file=sys.stderr)
     counters = result.stats.counters
-    print(f"workload:   {args.workload} on {args.nodes} nodes")
+    network = (f", seed={args.seed}, jitter={args.jitter}"
+               if args.jitter or args.seed is not None else "")
+    print(f"workload:   {args.workload} on {args.nodes} nodes{network}")
     print(f"protocol:   {protocol.name} "
           f"(opt={protocol.opt_level.name}, flavor={protocol.flavor.value})")
     print(f"cycles:     {result.cycles}")
@@ -271,19 +282,7 @@ def cmd_analyze_coverage(args) -> int:
 
     if args.verify:
         protocol, name = _load(args.verify, OptLevel.O2)
-        events = events_for_protocol(name if name in PROTOCOLS
-                                     else "stache")
-        coherent = not name.startswith("buffered")
-        checker = ModelChecker(
-            protocol,
-            n_nodes=args.nodes,
-            n_blocks=args.addresses,
-            reorder_bound=args.reorder,
-            events=events,
-            invariants=standard_invariants(coherent=coherent),
-            max_states=args.max_states,
-        )
-        result = checker.run()
+        result = api.check(protocol, _check_options(args, name))
         report = coverage_from_checker(protocol, result)
         if not result.ok:
             print(f"note: exploration FAILED "
@@ -413,7 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="states between progress lines (default 10000)")
     p.add_argument("--liveness", action="store_true",
                    help="also check liveness: every blocked thread can "
-                        "reach a wake-up (catches starvation)")
+                        "reach a wake-up (catches starvation); serial only")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="explore with N shard-owning worker processes "
+                        "(0 = serial, the default); verdict and state "
+                        "count are identical at any worker count")
+    p.add_argument("--fingerprints", action="store_true",
+                   help="serial hash compaction: key the visited set by "
+                        "64-bit state fingerprints (an order of "
+                        "magnitude less memory; violation traces are "
+                        "replay-validated against collisions)")
+    p.add_argument("--checkpoint-out", metavar="PATH",
+                   help="with --workers: write a resumable JSON "
+                        "checkpoint if the run truncates at --max-states "
+                        "or is interrupted")
+    p.add_argument("--resume", metavar="PATH",
+                   help="with --workers: continue from a checkpoint "
+                        "(written at any worker count)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="dump any counterexample trace as JSONL events")
     p.add_argument("--coverage-out", metavar="PATH",
@@ -428,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", help="gauss|appbt|shallow|mp3d|"
                                     "adaptive|stencil|unstruct")
     p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--seed", type=int, default=None, metavar="N",
+                   help="seed the network delay RNG so jittered "
+                        "(reordered) runs are reproducible")
+    p.add_argument("--jitter", type=int, default=0, metavar="CYCLES",
+                   help="max random extra network latency; > 0 drops "
+                        "per-channel FIFO, exercising reordering")
     p.add_argument("--trace", metavar="PATH",
                    help="write a structured event trace of the run")
     p.add_argument("--trace-format", choices=("jsonl", "chrome"),

@@ -14,9 +14,24 @@ Crucially -- and this is the paper's point -- the checker consumes the
 *same* :class:`~repro.runtime.protocol.CompiledProtocol` the simulator
 executes, through the same interpreter.  The verified artifact is the
 executed artifact.
+
+Two engines share that exploration semantics:
+:class:`~repro.verify.checker.ModelChecker` (serial, optionally
+hash-compacted via :mod:`repro.verify.fingerprint`) and
+:class:`~repro.verify.parallel.ParallelChecker` (the state space
+hash-partitioned across worker processes, with checkpoint/resume).
 """
 
-from repro.verify.checker import CheckResult, ModelChecker, Violation
+from repro.verify.checker import (
+    CheckResult,
+    FingerprintCollisionError,
+    ModelChecker,
+    TraceReplayError,
+    Violation,
+    replay_labels,
+)
+from repro.verify.fingerprint import encode_state, fingerprint
+from repro.verify.parallel import ParallelChecker
 from repro.verify.events import (
     CasEvents,
     EventGenerator,
@@ -29,8 +44,14 @@ from repro.verify.events import (
 
 __all__ = [
     "ModelChecker",
+    "ParallelChecker",
     "CheckResult",
     "Violation",
+    "TraceReplayError",
+    "FingerprintCollisionError",
+    "replay_labels",
+    "fingerprint",
+    "encode_state",
     "EventGenerator",
     "StacheEvents",
     "CasEvents",

@@ -18,6 +18,7 @@ from repro.runtime.context import Message
 from repro.runtime.exec import HandlerInterpreter
 from repro.runtime.protocol import CompiledProtocol
 from repro.verify.events import EventGenerator, StacheEvents
+from repro.verify.fingerprint import fingerprint
 from repro.verify.invariants import Invariant, standard_invariants
 from repro.verify.model import (
     CheckerContext,
@@ -27,6 +28,20 @@ from repro.verify.model import (
     fault_for_access,
     initial_global_state,
 )
+
+
+class TraceReplayError(Exception):
+    """A counterexample trace did not replay from the initial state."""
+
+
+class FingerprintCollisionError(TraceReplayError):
+    """A fingerprint collision corrupted the violation path.
+
+    Raised when a trace reconstructed from fingerprint-keyed parent
+    pointers fails replay validation.  The exploration's state count may
+    also be an undercount; rerun without fingerprinting (or with more
+    fingerprint bits) to get an exact answer.
+    """
 
 
 @dataclass
@@ -96,17 +111,23 @@ class CheckResult:
     # "State.MESSAGE" -> number of dispatches (initial deliveries plus
     # queue redeliveries).  Raw material for `teapot analyze coverage`.
     handler_fires: dict = field(default_factory=dict)
+    # False when max_states truncated the search: ok=True then means
+    # "no violation within the explored prefix", not a verdict.
+    exhausted: bool = True
+    # How many worker processes explored (1 = the serial checker).
+    workers: int = 1
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         if self.hit_state_limit:
             status += " (state limit reached)"
+        workers = f", workers={self.workers}" if self.workers > 1 else ""
         return (
             f"{self.protocol_name}: {status}  states={self.states_explored} "
             f"transitions={self.transitions} depth={self.max_depth} "
             f"time={self.elapsed_seconds:.2f}s "
             f"(nodes={self.n_nodes}, addrs={self.n_blocks}, "
-            f"reorder={self.reorder_bound})"
+            f"reorder={self.reorder_bound}{workers})"
         )
 
 
@@ -133,6 +154,8 @@ class ModelChecker:
         check_progress: bool = False,
         progress_stream: Optional[IO] = None,
         progress_every: int = 10_000,
+        fingerprint_states: bool = False,
+        fingerprint_fn=None,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -164,6 +187,18 @@ class ModelChecker:
         # are diagnosable while they execute.
         self.progress_stream = progress_stream
         self.progress_every = max(1, progress_every)
+        # Hash compaction: key the visited set (and parent pointers) by
+        # 64-bit fingerprints instead of whole states.  Memory per
+        # visited state drops by an order of magnitude; any violation
+        # trace is replay-validated to guard against collisions (see
+        # repro.verify.fingerprint).  Incompatible with check_progress,
+        # which must record the full state graph.
+        self.fingerprint_states = fingerprint_states
+        self.fingerprint_fn = fingerprint_fn or fingerprint
+        if fingerprint_states and check_progress:
+            raise ValueError(
+                "fingerprint_states and check_progress are mutually "
+                "exclusive: the liveness check records full states")
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
 
@@ -289,11 +324,14 @@ class ModelChecker:
             self.protocol, self.n_nodes, self.n_blocks, self.home_of,
             self.events.initial)
 
-        visited: set[GlobalState] = {initial}
-        parents: dict[GlobalState, tuple[Optional[GlobalState], str]] = {
-            initial: (None, "<initial>")}
-        depth: dict[GlobalState, int] = {initial: 0}
-        frontier: deque[GlobalState] = deque([initial])
+        # The visited set and parent pointers are keyed either by the
+        # state itself or, in fingerprint mode, by its 64-bit digest.
+        fp = self.fingerprint_fn if self.fingerprint_states else None
+        initial_key = fp(initial) if fp else initial
+        visited = {initial_key}
+        parents: dict = {initial_key: (None, "<initial>")}
+        depth: dict = {initial_key: 0}
+        frontier: deque = deque([(initial, initial_key)])
         graph: dict[GlobalState, list[GlobalState]] = (
             {initial: []} if self.check_progress else {})
         transitions = 0
@@ -301,6 +339,10 @@ class ModelChecker:
         hit_limit = False
 
         def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
+            if fp is not None and violation is not None:
+                # Collision guard: the trace came from fingerprint-keyed
+                # parent pointers; make sure it actually replays.
+                self.verify_violation(violation)
             if self.progress_stream is not None:
                 self._report_progress(len(visited), len(frontier),
                                       max_depth, transitions, start_time,
@@ -319,11 +361,12 @@ class ModelChecker:
                 hit_state_limit=hit_limit,
                 invariant_evals=dict(self._invariant_evals),
                 handler_fires=dict(self._handler_fires),
+                exhausted=not hit_limit,
             )
 
-        def trace_to(state: GlobalState, last_label: str) -> list[str]:
+        def trace_to(key, last_label: str) -> list[str]:
             labels: list[str] = []
-            cursor: Optional[GlobalState] = state
+            cursor = key
             while cursor is not None:
                 parent, label = parents[cursor]
                 if parent is not None:
@@ -339,7 +382,7 @@ class ModelChecker:
                 "invariant", violation, ["<initial>"], initial))
 
         while frontier:
-            state = frontier.popleft()
+            state, key = frontier.popleft()
             found_successor = False
             try:
                 for label, successor in self._successors(state):
@@ -347,45 +390,86 @@ class ModelChecker:
                     found_successor = True
                     if self.check_progress:
                         graph[state].append(successor)
-                    if successor in visited:
+                    succ_key = fp(successor) if fp else successor
+                    if succ_key in visited:
                         continue
                     if len(visited) >= self.max_states:
                         hit_limit = True
                         return result(True, None)
-                    visited.add(successor)
+                    visited.add(succ_key)
                     if (self.progress_stream is not None
                             and len(visited) % self.progress_every == 0):
                         self._report_progress(len(visited), len(frontier),
                                               max_depth, transitions,
                                               start_time)
-                    parents[successor] = (state, label)
+                    parents[succ_key] = (key, label)
                     if self.check_progress:
                         graph.setdefault(successor, [])
-                    depth[successor] = depth[state] + 1
-                    max_depth = max(max_depth, depth[successor])
+                    depth[succ_key] = depth[key] + 1
+                    max_depth = max(max_depth, depth[succ_key])
                     message = self._check_invariants(successor)
                     if message is not None:
                         return result(False, Violation(
                             "invariant", message,
-                            trace_to(state, label), successor))
-                    frontier.append(successor)
+                            trace_to(key, label), successor))
+                    frontier.append((successor, succ_key))
             except _LabelledViolation as labelled:
                 return result(False, Violation(
                     "error", labelled.message,
-                    trace_to(state, labelled.label), state))
+                    trace_to(key, labelled.label), state))
             if not found_successor:
-                _, last_label = parents[state]
+                _, last_label = parents[key]
                 return result(False, Violation(
                     "deadlock",
                     "no rule enabled: all nodes blocked and no messages "
                     "in flight",
-                    trace_to(state, "<stuck>"), state))
+                    trace_to(key, "<stuck>"), state))
 
         if self.check_progress:
             violation = self._check_progress(graph, parents)
             if violation is not None:
                 return result(False, violation)
         return result(True, None)
+
+    # -- trace replay -------------------------------------------------------
+
+    def fresh_clone(self) -> "ModelChecker":
+        """A checker with the same configuration but pristine counters
+        (replays must not inflate this run's coverage numbers)."""
+        return ModelChecker(
+            self.protocol, n_nodes=self.n_nodes, n_blocks=self.n_blocks,
+            reorder_bound=self.reorder_bound, events=self.events,
+            invariants=self.invariants, max_states=self.max_states,
+            channel_cap=self.channel_cap,
+            interpreter_factory=self.interpreter_factory)
+
+    def verify_violation(self, violation: Violation) -> GlobalState:
+        """Replay-validate a counterexample built from fingerprints.
+
+        Re-executes the label sequence from the initial state and checks
+        the claimed violation actually occurs at its end.  Returns the
+        final replayed state; raises :class:`FingerprintCollisionError`
+        if the trace diverges (the signature of a fingerprint collision
+        having corrupted the parent pointers)."""
+        try:
+            final = replay_labels(self.fresh_clone(), violation.trace)
+        except TraceReplayError as error:
+            raise FingerprintCollisionError(
+                f"counterexample failed replay validation: {error}; "
+                "a fingerprint collision corrupted the violation path"
+            ) from None
+        if violation.kind == "invariant":
+            clone = self.fresh_clone()
+            clone._invariant_evals = {}
+            clone._named_invariants = self._named_invariants
+            if clone._check_invariants(final) is None:
+                raise FingerprintCollisionError(
+                    "replayed end state satisfies every invariant; a "
+                    "fingerprint collision corrupted the violation path")
+        if violation.state is None:
+            violation.state = final
+        return final
+
 
     def _check_progress(self, graph, parents) -> Optional[Violation]:
         """Liveness: from every reachable state, every blocked thread
@@ -475,6 +559,42 @@ class ModelChecker:
             if message is not None:
                 return message
         return None
+
+
+def replay_labels(checker: ModelChecker, labels: list) -> GlobalState:
+    """Deterministically re-execute a rule-label sequence.
+
+    Walks the trace from the initial state, at each step taking the
+    successor whose label matches.  ``<initial>``/``<stuck>``/``<thread
+    lost>`` markers are skipped; a label that names an error rule is
+    confirmed by the :class:`CheckerViolation` it raises.  Raises
+    :class:`TraceReplayError` when no successor carries the expected
+    label -- on a fingerprint-reconstructed trace that means a
+    collision."""
+    checker._named_invariants = [
+        (checker._invariant_name(inv), inv) for inv in checker.invariants]
+    state = initial_global_state(
+        checker.protocol, checker.n_nodes, checker.n_blocks,
+        checker.home_of, checker.events.initial)
+    for step, label in enumerate(labels, 1):
+        if label in ("<initial>", "<stuck>", "<thread lost>"):
+            continue
+        try:
+            for candidate, successor in checker._successors(state):
+                if candidate == label:
+                    state = successor
+                    break
+            else:
+                raise TraceReplayError(
+                    f"step {step}: no successor labelled {label!r}")
+        except _LabelledViolation as labelled:
+            if labelled.label == label and step == len(labels):
+                return state  # the trace's final error rule, confirmed
+            raise TraceReplayError(
+                f"step {step}: rule {labelled.label!r} raised "
+                f"{labelled.message!r} while looking for {label!r}"
+            ) from None
+    return state
 
 
 class _LabelledViolation(Exception):

@@ -1,0 +1,209 @@
+"""64-bit state fingerprints and a portable state codec.
+
+The checker's visited set traditionally stores whole
+:class:`~repro.verify.model.GlobalState` objects.  A fingerprint is an
+8-byte BLAKE2b digest of a *canonical encoding* of the state, so the
+visited set shrinks to a set of small ints (an order of magnitude less
+memory -- the classic Stern/Dill hash-compaction trade) and, crucially,
+the value is stable across processes and across runs: it does not
+depend on ``PYTHONHASHSEED``, object identity, or pickle memoisation.
+That stability is what lets the parallel checker hash-partition the
+state space across worker processes and what makes checkpoint files
+resumable.
+
+The trade-off of compaction is that two distinct states could collide
+and one of them would be silently merged (probability ~ n^2 / 2^65 for
+n visited states).  The violation path therefore re-validates traces by
+replay (:func:`repro.verify.checker.replay_labels`); a collision that
+corrupts a counterexample is detected, not silently reported.
+
+The module also provides a pure-JSON codec for states
+(:func:`state_to_jsonable` / :func:`state_from_jsonable`) used by the
+checkpoint format, so checkpoints contain no pickles.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+from repro.runtime.context import Message
+from repro.runtime.continuation import ContinuationRecord
+from repro.verify.model import AppView, BlockView, GlobalState
+
+FINGERPRINT_BITS = 64
+
+
+class StateCodecError(TypeError):
+    """A value inside a GlobalState that the codec does not model."""
+
+
+def _encode_value(value, out: bytearray) -> None:
+    """Append a canonical, prefix-free encoding of ``value``."""
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, int):
+        out += b"i%d;" % value
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s%d:" % len(raw)
+        out += raw
+    elif isinstance(value, tuple):
+        out += b"(%d:" % len(value)
+        for item in value:
+            _encode_value(item, out)
+        out += b")"
+    elif isinstance(value, frozenset):
+        # Canonical order: sort members by their own encoding.
+        parts = []
+        for item in value:
+            buf = bytearray()
+            _encode_value(item, buf)
+            parts.append(bytes(buf))
+        parts.sort()
+        out += b"{%d:" % len(parts)
+        for part in parts:
+            out += part
+        out += b"}"
+    elif isinstance(value, Message):
+        out += b"m"
+        _encode_value((value.tag, value.block, value.src, value.dst,
+                       value.payload, value.data), out)
+    elif isinstance(value, ContinuationRecord):
+        out += b"c"
+        _encode_value((value.handler, value.site_id, value.saved,
+                       value.is_static), out)
+    else:
+        raise StateCodecError(
+            f"cannot fingerprint value of type {type(value).__name__}: "
+            f"{value!r}")
+
+
+def encode_state(state: GlobalState) -> bytes:
+    """The canonical byte encoding a fingerprint digests."""
+    out = bytearray(b"G")
+    for node_blocks in state.blocks:
+        for view in node_blocks:
+            out += b"B"
+            _encode_value(view.state_name, out)
+            _encode_value(view.state_args, out)
+            _encode_value(view.info, out)
+            _encode_value(view.access, out)
+            _encode_value(view.queue, out)
+    for app in state.apps:
+        out += b"A"
+        _encode_value(app.blocked_on, out)
+        _encode_value(app.gen, out)
+    for row in state.channels:
+        for channel in row:
+            out += b"C"
+            _encode_value(channel, out)
+    return bytes(out)
+
+
+def fingerprint(state: GlobalState) -> int:
+    """Stable 64-bit fingerprint of a global state."""
+    return int.from_bytes(
+        blake2b(encode_state(state), digest_size=8).digest(), "big")
+
+
+# -- JSON codec (checkpoints) ---------------------------------------------------
+#
+# Tagged arrays keep tuples, sets, messages, and continuation records
+# apart from plain JSON lists; scalars pass through unchanged.  The
+# format is deliberately pickle-free so loading a checkpoint never
+# executes anything.
+
+def _to_jsonable(value):
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, tuple):
+        return ["t", [_to_jsonable(item) for item in value]]
+    if isinstance(value, frozenset):
+        items = [_to_jsonable(item) for item in value]
+        items.sort(key=repr)
+        return ["fs", items]
+    if isinstance(value, Message):
+        return ["m", value.tag, value.block, value.src, value.dst,
+                _to_jsonable(value.payload), _to_jsonable(value.data)]
+    if isinstance(value, ContinuationRecord):
+        return ["c", value.handler, value.site_id,
+                _to_jsonable(value.saved), value.is_static]
+    raise StateCodecError(
+        f"cannot serialise value of type {type(value).__name__}: {value!r}")
+
+
+def _from_jsonable(value):
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    tag = value[0]
+    if tag == "t":
+        return tuple(_from_jsonable(item) for item in value[1])
+    if tag == "fs":
+        return frozenset(_from_jsonable(item) for item in value[1])
+    if tag == "m":
+        return Message(value[1], value[2], value[3], value[4],
+                       payload=_from_jsonable(value[5]),
+                       data=_from_jsonable(value[6]))
+    if tag == "c":
+        return ContinuationRecord(value[1], value[2],
+                                  _from_jsonable(value[3]), value[4])
+    raise StateCodecError(f"unknown codec tag {tag!r}")
+
+
+def state_to_jsonable(state: GlobalState) -> dict:
+    """A pure-JSON rendering of a state (checkpoint frontier entries)."""
+    return {
+        "blocks": [
+            [
+                {
+                    "state": view.state_name,
+                    "args": _to_jsonable(view.state_args),
+                    "info": _to_jsonable(view.info),
+                    "access": view.access,
+                    "queue": _to_jsonable(view.queue),
+                }
+                for view in node_blocks
+            ]
+            for node_blocks in state.blocks
+        ],
+        "apps": [
+            {"blocked_on": app.blocked_on, "gen": _to_jsonable(app.gen)}
+            for app in state.apps
+        ],
+        "channels": [
+            [_to_jsonable(channel) for channel in row]
+            for row in state.channels
+        ],
+    }
+
+
+def state_from_jsonable(payload: dict) -> GlobalState:
+    """Inverse of :func:`state_to_jsonable`."""
+    return GlobalState(
+        blocks=tuple(
+            tuple(
+                BlockView(
+                    state_name=view["state"],
+                    state_args=_from_jsonable(view["args"]),
+                    info=_from_jsonable(view["info"]),
+                    access=view["access"],
+                    queue=_from_jsonable(view["queue"]),
+                )
+                for view in node_blocks
+            )
+            for node_blocks in payload["blocks"]
+        ),
+        apps=tuple(
+            AppView(blocked_on=app["blocked_on"],
+                    gen=_from_jsonable(app["gen"]))
+            for app in payload["apps"]
+        ),
+        channels=tuple(
+            tuple(_from_jsonable(channel) for channel in row)
+            for row in payload["channels"]
+        ),
+    )

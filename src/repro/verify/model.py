@@ -55,6 +55,13 @@ class GlobalState:
         return sum(
             len(channel) for row in self.channels for channel in row)
 
+    def fingerprint(self) -> int:
+        """Stable 64-bit digest of this state (hash compaction /
+        parallel sharding); independent of PYTHONHASHSEED."""
+        from repro.verify.fingerprint import fingerprint
+
+        return fingerprint(self)
+
     def summary(self) -> str:
         parts = []
         for node, node_blocks in enumerate(self.blocks):

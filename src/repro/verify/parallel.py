@@ -1,0 +1,585 @@
+"""Sharded parallel breadth-first model checking.
+
+The serial :class:`~repro.verify.checker.ModelChecker` explores one BFS
+layer at a time on one core, holding every visited state in memory.
+:class:`ParallelChecker` keeps the same exploration semantics but
+hash-partitions the state space across N worker processes: each worker
+*owns* the shard of states whose 64-bit fingerprint satisfies
+``fp % workers == worker_id``, and only the owner ever stores, dedupes,
+invariant-checks, or expands a state.  Exploration proceeds in
+bulk-synchronous waves (one wave = one BFS layer):
+
+1. The master routes each worker its incoming *candidates* -- successor
+   states generated elsewhere whose fingerprints land in that worker's
+   shard -- as one batch.
+2. Each worker dedupes candidates against its visited-fingerprint set,
+   records a parent pointer per new state, runs the invariant suite, and
+   then expands the accepted states, fingerprinting each successor once
+   at the sender.  Own-shard successors stay worker-local; foreign ones
+   are batched per owner and handed back to the master for routing.
+3. The master aggregates per-wave statistics (per-worker ``states/s``
+   feed the ``--progress`` stream), detects termination, truncation at
+   ``max_states``, and violations.
+
+Determinism: the set of states in BFS layer *k* is a property of the
+protocol, not of the partitioning, and every visited state is expanded
+exactly once -- so verdict, reachable-state count, transition count, and
+``handler_fires`` coverage are identical at any worker count.  When a
+wave surfaces violations, every worker still finishes the whole wave and
+the master picks the canonical minimum by ``(depth, kind, message,
+label, fingerprint)``, so the reported violation is worker-count
+independent too.  The counterexample trace is rebuilt by walking the
+sharded parent pointers (one owner query per hop) and then
+replay-validated against a fresh serial checker; a fingerprint collision
+that corrupted the path raises
+:class:`~repro.verify.checker.FingerprintCollisionError` instead of
+reporting a bogus trace.
+
+Checkpoints are pure JSON (no pickles; see
+:mod:`repro.verify.fingerprint` for the state codec) and are written at
+wave boundaries when the run truncates at ``max_states`` or is
+interrupted.  Because entries are keyed by fingerprint, a checkpoint
+written at one worker count can be resumed at any other.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from collections import defaultdict
+from typing import IO, Optional
+
+from repro.runtime.exec import HandlerInterpreter
+from repro.runtime.protocol import CompiledProtocol
+from repro.verify.checker import (
+    CheckResult,
+    ModelChecker,
+    Violation,
+    _LabelledViolation,
+)
+from repro.verify.events import EventGenerator
+from repro.verify.fingerprint import state_from_jsonable, state_to_jsonable
+from repro.verify.invariants import Invariant
+from repro.verify.model import initial_global_state
+
+CHECKPOINT_KIND = "teapot-parallel-checkpoint"
+CHECKPOINT_VERSION = 1
+
+_DEADLOCK_MESSAGE = ("no rule enabled: all nodes blocked and no messages "
+                     "in flight")
+
+# Violation kinds sort alphabetically, which happens to put "deadlock"
+# before "error" before "invariant"; the rank only needs to be total and
+# worker-count independent, not meaningful.
+def _violation_rank(record):
+    kind, message, depth, fp, label = record
+    return (depth, kind, message, label or "", fp)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is malformed or belongs to another run."""
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and structurally validate a checkpoint file."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"{path}: not a teapot parallel checkpoint")
+    if payload.get("v") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {payload.get('v')!r}, "
+            f"expected {CHECKPOINT_VERSION}")
+    return payload
+
+
+def _worker_main(conn, worker_id: int, n_workers: int,
+                 checker: ModelChecker) -> None:
+    """One shard owner: dedupe, invariant-check, and expand its states.
+
+    Runs a small command loop over a duplex pipe; the master is the only
+    peer.  SIGINT is ignored so Ctrl-C reaches only the master, which
+    finishes the wave and checkpoints before shutting workers down.
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    checker._invariant_evals = {}
+    checker._handler_fires = {}
+    checker._named_invariants = [
+        (checker._invariant_name(inv), inv) for inv in checker.invariants]
+    fp_fn = checker.fingerprint_fn
+
+    visited: set[int] = set()          # fps of states this shard owns
+    parents: dict[int, tuple] = {}     # fp -> (parent fp | None, label)
+    known: set[int] = set()            # every fp seen/routed (send dedupe)
+    local_next: list = []              # own-shard candidates for next wave
+    transitions = 0
+    max_depth = 0
+
+    while True:
+        command = conn.recv()
+        op = command[0]
+
+        if op == "load":                      # resume: restore this shard
+            _, fps, loaded_parents = command
+            visited.update(fps)
+            known.update(fps)
+            parents.update(loaded_parents)
+            conn.send(("loaded", len(visited)))
+
+        elif op == "wave":
+            _, wave_no, foreign = command
+            started = time.perf_counter()
+            candidates = local_next + foreign
+            local_next = []
+            accepted = []
+            violations = []
+            for sfp, state, pfp, label, depth in candidates:
+                if sfp in visited:
+                    continue
+                visited.add(sfp)
+                known.add(sfp)
+                parents[sfp] = (pfp, label)
+                if depth > max_depth:
+                    max_depth = depth
+                message = checker._check_invariants(state)
+                if message is not None:
+                    violations.append(
+                        ("invariant", message, depth, sfp, None))
+                accepted.append((sfp, state, depth))
+            outbox = defaultdict(list)
+            for sfp, state, depth in accepted:
+                found_successor = False
+                try:
+                    for label, successor in checker._successors(state):
+                        transitions += 1
+                        found_successor = True
+                        fp = fp_fn(successor)
+                        if fp in known:
+                            continue
+                        known.add(fp)
+                        entry = (fp, successor, sfp, label, depth + 1)
+                        if fp % n_workers == worker_id:
+                            local_next.append(entry)
+                        else:
+                            outbox[fp % n_workers].append(entry)
+                except _LabelledViolation as labelled:
+                    violations.append(("error", labelled.message, depth,
+                                       sfp, labelled.label))
+                    continue
+                if not found_successor:
+                    violations.append(("deadlock", _DEADLOCK_MESSAGE,
+                                       depth, sfp, "<stuck>"))
+            conn.send(("done", {
+                "wave": wave_no,
+                "accepted": len(accepted),
+                "visited": len(visited),
+                "transitions": transitions,
+                "max_depth": max_depth,
+                "outbox": dict(outbox),
+                "local_pending": len(local_next),
+                "violations": violations,
+                "seconds": time.perf_counter() - started,
+            }))
+
+        elif op == "parent":                  # one hop of a trace walk
+            conn.send(("parent", parents.get(command[1])))
+
+        elif op == "collect":                 # checkpoint contribution
+            conn.send(("state", {
+                "visited": list(visited),
+                "parents": {fp: list(entry)
+                            for fp, entry in parents.items()},
+                "frontier": [
+                    [fp, state_to_jsonable(state), pfp, label, depth]
+                    for fp, state, pfp, label, depth in local_next],
+                "handler_fires": dict(checker._handler_fires),
+                "invariant_evals": dict(checker._invariant_evals),
+            }))
+
+        elif op == "finish":
+            conn.send(("stats", {
+                "handler_fires": dict(checker._handler_fires),
+                "invariant_evals": dict(checker._invariant_evals),
+            }))
+            conn.close()
+            return
+
+
+class ParallelChecker:
+    """Hash-partitioned parallel model checker.
+
+    Accepts the same protocol/configuration surface as
+    :class:`~repro.verify.checker.ModelChecker` plus ``workers`` (the
+    number of shard-owning processes), ``checkpoint_out`` (where to dump
+    a resumable JSON checkpoint if the run truncates or is
+    interrupted), and ``resume`` (a checkpoint to continue from --
+    written at any worker count).
+
+    ``run()`` returns the same :class:`CheckResult`; on passing runs the
+    state count, transition count, depth, and coverage maps match the
+    serial checker exactly.  Requires the ``fork`` start method (worker
+    checkers inherit closures the ``spawn`` pickler cannot carry).
+    """
+
+    def __init__(
+        self,
+        protocol: CompiledProtocol,
+        n_nodes: int = 2,
+        n_blocks: int = 1,
+        reorder_bound: int = 0,
+        events: Optional[EventGenerator] = None,
+        invariants: Optional[list[Invariant]] = None,
+        workers: Optional[int] = None,
+        max_states: int = 2_000_000,
+        channel_cap: int = 4,
+        interpreter_factory=HandlerInterpreter,
+        progress_stream: Optional[IO] = None,
+        progress_every: int = 10_000,
+        checkpoint_out: Optional[str] = None,
+        resume: Optional[str] = None,
+        fingerprint_fn=None,
+    ):
+        if workers is None:
+            workers = min(4, os.cpu_count() or 1)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.checkpoint_out = checkpoint_out
+        self.resume = resume
+        self.progress_stream = progress_stream
+        self.progress_every = max(1, progress_every)
+        # One fully configured serial checker serves as the template the
+        # forked workers inherit, and as the replay engine for validating
+        # reconstructed counterexamples.
+        self._template = ModelChecker(
+            protocol, n_nodes=n_nodes, n_blocks=n_blocks,
+            reorder_bound=reorder_bound, events=events,
+            invariants=invariants, max_states=max_states,
+            channel_cap=channel_cap,
+            interpreter_factory=interpreter_factory,
+            fingerprint_states=True, fingerprint_fn=fingerprint_fn)
+
+    # -- checkpoint plumbing ------------------------------------------------
+
+    def _config_echo(self) -> dict:
+        t = self._template
+        return {
+            "protocol": t.protocol.name,
+            "n_nodes": t.n_nodes,
+            "n_blocks": t.n_blocks,
+            "reorder_bound": t.reorder_bound,
+            "channel_cap": t.channel_cap,
+            "events": type(t.events).__name__,
+        }
+
+    def _validate_resume(self, payload: dict) -> None:
+        echo = self._config_echo()
+        stored = {key: payload.get(key) for key in echo}
+        if stored != echo:
+            diffs = ", ".join(
+                f"{key}: checkpoint={stored[key]!r} run={echo[key]!r}"
+                for key in echo if stored[key] != echo[key])
+            raise CheckpointError(
+                f"{self.resume}: checkpoint is for a different "
+                f"configuration ({diffs})")
+
+    def _write_checkpoint(self, path, conns, pending, wave, stats) -> None:
+        visited: list[str] = []
+        parents: dict[str, list] = {}
+        frontier: list = []
+        invariant_evals = dict(stats["invariant_evals"])
+        handler_fires = dict(stats["handler_fires"])
+        for conn in conns:
+            conn.send(("collect",))
+            _, shard = conn.recv()
+            visited.extend(f"{fp:016x}" for fp in shard["visited"])
+            for fp, (pfp, label) in shard["parents"].items():
+                parents[f"{fp:016x}"] = [
+                    None if pfp is None else f"{pfp:016x}", label]
+            for fp, state_json, pfp, label, depth in shard["frontier"]:
+                frontier.append([
+                    f"{fp:016x}", state_json,
+                    None if pfp is None else f"{pfp:016x}", label, depth])
+            for name, count in shard["invariant_evals"].items():
+                invariant_evals[name] = invariant_evals.get(name, 0) + count
+            for name, count in shard["handler_fires"].items():
+                handler_fires[name] = handler_fires.get(name, 0) + count
+        # Candidates the master routed but no worker has consumed yet.
+        for batch in pending:
+            for fp, state, pfp, label, depth in batch:
+                frontier.append([
+                    f"{fp:016x}", state_to_jsonable(state),
+                    None if pfp is None else f"{pfp:016x}", label, depth])
+        payload = dict(self._config_echo())
+        payload.update({
+            "kind": CHECKPOINT_KIND,
+            "v": CHECKPOINT_VERSION,
+            "wave": wave,
+            "transitions": stats["transitions"],
+            "max_depth": stats["max_depth"],
+            "elapsed": stats["elapsed"],
+            "invariant_evals": invariant_evals,
+            "handler_fires": handler_fires,
+            "visited": visited,
+            "parents": parents,
+            "frontier": frontier,
+        })
+        tmp = f"{path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    # -- trace reconstruction -----------------------------------------------
+
+    def _trace_for(self, conns, record) -> Violation:
+        kind, message, depth, fp, extra_label = record
+        labels: list[str] = []
+        cursor = fp
+        while cursor is not None:
+            conn = conns[cursor % self.workers]
+            conn.send(("parent", cursor))
+            _, entry = conn.recv()
+            if entry is None:
+                raise CheckpointError(
+                    f"parent chain broken at fingerprint {cursor:016x}")
+            pfp, label = entry
+            if pfp is not None:
+                labels.append(label)
+            cursor = pfp
+        labels.reverse()
+        if kind == "error":
+            labels.append(extra_label)
+        elif kind == "deadlock":
+            labels.append("<stuck>")
+        elif not labels:
+            labels = ["<initial>"]     # invariant violated in the initial state
+        return Violation(kind, message, labels)
+
+    # -- the master loop ----------------------------------------------------
+
+    def run(self) -> CheckResult:
+        template = self._template
+        n = self.workers
+        start = time.perf_counter()
+
+        baseline = {"wave": 0, "transitions": 0, "max_depth": 0,
+                    "elapsed": 0.0, "invariant_evals": {},
+                    "handler_fires": {}}
+        loads: list[tuple[list, dict]] = [([], {}) for _ in range(n)]
+        pending: list[list] = [[] for _ in range(n)]
+
+        if self.resume:
+            payload = load_checkpoint(self.resume)
+            self._validate_resume(payload)
+            for key in ("wave", "transitions", "max_depth", "elapsed",
+                        "invariant_evals", "handler_fires"):
+                baseline[key] = payload[key]
+            for fp_hex in payload["visited"]:
+                fp = int(fp_hex, 16)
+                loads[fp % n][0].append(fp)
+            for fp_hex, (pfp_hex, label) in payload["parents"].items():
+                fp = int(fp_hex, 16)
+                pfp = None if pfp_hex is None else int(pfp_hex, 16)
+                loads[fp % n][1][fp] = (pfp, label)
+            for fp_hex, state_json, pfp_hex, label, depth in (
+                    payload["frontier"]):
+                fp = int(fp_hex, 16)
+                pfp = None if pfp_hex is None else int(pfp_hex, 16)
+                pending[fp % n].append(
+                    (fp, state_from_jsonable(state_json), pfp, label, depth))
+        else:
+            initial = initial_global_state(
+                template.protocol, template.n_nodes, template.n_blocks,
+                template.home_of, template.events.initial)
+            fp0 = template.fingerprint_fn(initial)
+            pending[fp0 % n].append((fp0, initial, None, "<initial>", 0))
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-Linux fallback
+            ctx = multiprocessing.get_context("spawn")
+
+        conns = []
+        procs = []
+        for i in range(n):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main,
+                               args=(child_conn, i, n, template),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        try:
+            if self.resume:
+                for i, conn in enumerate(conns):
+                    conn.send(("load", loads[i][0], loads[i][1]))
+                for conn in conns:
+                    conn.recv()
+
+            wave = baseline["wave"]
+            total_states = len(payload["visited"]) if self.resume else 0
+            transitions = baseline["transitions"]
+            max_depth = baseline["max_depth"]
+            hit_limit = False
+            violation_record = None
+            last_bucket = total_states // self.progress_every
+            last_replies: list = []
+
+            def stats_now():
+                return {
+                    "transitions": transitions,
+                    "max_depth": max_depth,
+                    "elapsed": baseline["elapsed"]
+                    + (time.perf_counter() - start),
+                    "invariant_evals": dict(baseline["invariant_evals"]),
+                    "handler_fires": dict(baseline["handler_fires"]),
+                }
+
+            candidates: list[list] = [[] for _ in range(n)]
+            sent = [False] * n
+            replies: list = [None] * n
+            try:
+                while True:
+                    candidates, pending = pending, [[] for _ in range(n)]
+                    sent = [False] * n
+                    replies = [None] * n
+                    for i, conn in enumerate(conns):
+                        conn.send(("wave", wave, candidates[i]))
+                        sent[i] = True
+                    for i, conn in enumerate(conns):
+                        replies[i] = conn.recv()[1]
+                    wave += 1
+                    last_replies = replies
+                    total_states = sum(r["visited"] for r in replies)
+                    transitions = baseline["transitions"] + sum(
+                        r["transitions"] for r in replies)
+                    max_depth = max([baseline["max_depth"]]
+                                    + [r["max_depth"] for r in replies])
+                    frontier_size = sum(r["local_pending"] for r in replies)
+                    for reply in replies:
+                        for owner, batch in reply["outbox"].items():
+                            pending[owner].extend(batch)
+                            frontier_size += len(batch)
+                    if (self.progress_stream is not None
+                            and total_states // self.progress_every
+                            > last_bucket):
+                        last_bucket = total_states // self.progress_every
+                        self._report_progress(
+                            total_states, frontier_size, max_depth,
+                            transitions, start, baseline, replies)
+                    violations = [v for r in replies for v in r["violations"]]
+                    if violations:
+                        violation_record = min(violations,
+                                               key=_violation_rank)
+                        break
+                    if total_states >= template.max_states:
+                        hit_limit = True
+                        if self.checkpoint_out:
+                            self._write_checkpoint(
+                                self.checkpoint_out, conns, pending,
+                                wave, stats_now())
+                        break
+                    if frontier_size == 0:
+                        break
+            except KeyboardInterrupt:
+                # Finish the in-flight wave so the checkpoint lands on a
+                # clean layer boundary, then persist and re-raise.
+                for i, conn in enumerate(conns):
+                    if sent[i] and replies[i] is None and conn.poll(300):
+                        replies[i] = conn.recv()[1]
+                for i, reply in enumerate(replies):
+                    if reply is None:
+                        continue
+                    for owner, batch in reply["outbox"].items():
+                        pending[owner].extend(batch)
+                for i in range(n):
+                    if not sent[i]:
+                        pending[i].extend(candidates[i])
+                done = [r for r in replies if r is not None]
+                if done:
+                    transitions = baseline["transitions"] + sum(
+                        r["transitions"] for r in done)
+                    max_depth = max([max_depth]
+                                    + [r["max_depth"] for r in done])
+                if self.checkpoint_out:
+                    self._write_checkpoint(
+                        self.checkpoint_out, conns, pending,
+                        wave + 1, stats_now())
+                raise
+
+            violation = None
+            if violation_record is not None:
+                violation = self._trace_for(conns, violation_record)
+
+            invariant_evals = dict(baseline["invariant_evals"])
+            handler_fires = dict(baseline["handler_fires"])
+            for conn in conns:
+                conn.send(("finish",))
+                _, stats = conn.recv()
+                for name, count in stats["invariant_evals"].items():
+                    invariant_evals[name] = (
+                        invariant_evals.get(name, 0) + count)
+                for name, count in stats["handler_fires"].items():
+                    handler_fires[name] = handler_fires.get(name, 0) + count
+            for proc in procs:
+                proc.join(timeout=30)
+
+            if violation is not None:
+                # Collision guard: the trace came from fingerprint-keyed
+                # parent pointers sharded across workers; it must replay.
+                template.verify_violation(violation)
+
+            if self.progress_stream is not None:
+                self._report_progress(
+                    total_states, 0, max_depth, transitions, start,
+                    baseline, last_replies, final=True)
+
+            return CheckResult(
+                protocol_name=template.protocol.name,
+                ok=violation is None,
+                states_explored=total_states,
+                transitions=transitions,
+                max_depth=max_depth,
+                elapsed_seconds=baseline["elapsed"]
+                + (time.perf_counter() - start),
+                violation=violation,
+                n_nodes=template.n_nodes,
+                n_blocks=template.n_blocks,
+                reorder_bound=template.reorder_bound,
+                hit_state_limit=hit_limit,
+                invariant_evals=invariant_evals,
+                handler_fires=handler_fires,
+                exhausted=not hit_limit,
+                workers=n,
+            )
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=10)
+            for conn in conns:
+                conn.close()
+
+    def _report_progress(self, states, frontier_size, max_depth, transitions,
+                         start, baseline, replies, final=False) -> None:
+        elapsed = baseline["elapsed"] + (time.perf_counter() - start)
+        rate = states / elapsed if elapsed > 0 else float(states)
+        per_worker = " ".join(
+            f"w{i}={reply['accepted'] / reply['seconds']:.0f}/s"
+            if reply and reply["seconds"] > 0 else f"w{i}=idle"
+            for i, reply in enumerate(replies))
+        suffix = "done" if final else "..."
+        print(
+            f"[verify {self._template.protocol.name}] states={states} "
+            f"frontier={frontier_size} depth={max_depth} "
+            f"transitions={transitions} {rate:.0f} states/s "
+            f"[{per_worker}] {suffix}",
+            file=self.progress_stream, flush=True)

@@ -151,3 +151,57 @@ class TestFmt:
         path = tmp_path / "bad.tea"
         path.write_text("Protocol ;")
         assert main(["fmt", str(path)]) == 1
+
+
+class TestVerifyParallelFlags:
+    def test_workers_flag(self, capsys):
+        assert main(["verify", "stache", "--reorder", "1",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "workers=2" in out
+
+    def test_fingerprints_flag(self, capsys):
+        assert main(["verify", "stache", "--reorder", "1",
+                     "--fingerprints"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_truncation_note(self, capsys):
+        assert main(["verify", "lcm", "--reorder", "1",
+                     "--max-states", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "exploration truncated" in out
+        assert "--max-states" in out
+
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "check.json")
+        # Uninterrupted baseline at one worker.
+        assert main(["verify", "lcm_mcc", "--reorder", "1",
+                     "--workers", "1"]) == 0
+        baseline = capsys.readouterr().out
+        # Truncate, checkpoint, resume at a different worker count.
+        assert main(["verify", "lcm_mcc", "--reorder", "1", "--workers", "2",
+                     "--max-states", "100", "--checkpoint-out", path]) == 0
+        truncated = capsys.readouterr().out
+        assert "exploration truncated" in truncated
+        assert "--resume" in truncated
+        assert main(["verify", "lcm_mcc", "--reorder", "1", "--workers", "2",
+                     "--resume", path]) == 0
+        resumed = capsys.readouterr().out
+        assert "PASS" in resumed
+        # The resumed run reports the same final state count.
+        import re
+        count = lambda text: re.search(r"states=(\d+)", text).group(1)
+        assert count(resumed) == count(baseline)
+
+
+class TestRunSeedFlags:
+    def test_seed_is_reproducible(self, capsys):
+        args = ["run", "stache", "gauss", "--nodes", "4",
+                "--seed", "9", "--jitter", "40"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "seed=9" in first
+        assert "jitter=40" in first
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

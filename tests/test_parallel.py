@@ -1,0 +1,242 @@
+"""Tests for state fingerprinting and the parallel checker."""
+
+import json
+
+import pytest
+
+from repro.protocols import compile_named_protocol
+from repro.verify import (
+    FingerprintCollisionError,
+    ModelChecker,
+    ParallelChecker,
+    TraceReplayError,
+    events_for_protocol,
+    fingerprint,
+    replay_labels,
+)
+from repro.verify.fingerprint import (
+    StateCodecError,
+    encode_state,
+    state_from_jsonable,
+    state_to_jsonable,
+)
+from repro.verify.invariants import standard_invariants
+from repro.verify.model import initial_global_state
+from repro.verify.parallel import CheckpointError, load_checkpoint
+
+
+def make_serial(name, n_nodes=2, n_blocks=1, reorder=0, **kwargs):
+    protocol = compile_named_protocol(name)
+    return ModelChecker(
+        protocol, n_nodes=n_nodes, n_blocks=n_blocks, reorder_bound=reorder,
+        events=events_for_protocol(name),
+        invariants=standard_invariants(
+            coherent=not name.startswith("buffered")),
+        **kwargs)
+
+
+def make_parallel(name, workers, n_nodes=2, n_blocks=1, reorder=0, **kwargs):
+    protocol = compile_named_protocol(name)
+    return ParallelChecker(
+        protocol, n_nodes=n_nodes, n_blocks=n_blocks, reorder_bound=reorder,
+        events=events_for_protocol(name),
+        invariants=standard_invariants(
+            coherent=not name.startswith("buffered")),
+        workers=workers, **kwargs)
+
+
+def initial_state_of(name, n_nodes=2, n_blocks=1):
+    checker = make_serial(name, n_nodes=n_nodes, n_blocks=n_blocks)
+    return initial_global_state(
+        checker.protocol, checker.n_nodes, checker.n_blocks,
+        checker.home_of, checker.events.initial)
+
+
+class TestFingerprint:
+    def test_stable_and_64_bit(self):
+        state = initial_state_of("stache")
+        fp = fingerprint(state)
+        assert fp == fingerprint(state) == state.fingerprint()
+        assert 0 <= fp < 2 ** 64
+
+    def test_distinct_states_distinct_encodings(self):
+        checker = make_serial("stache", reorder=1)
+        checker._named_invariants = []
+        state = initial_state_of("stache")
+        encodings = {encode_state(state)}
+        seen = {state}
+        for _label, successor in checker._successors(state):
+            if successor in seen:
+                continue
+            seen.add(successor)
+            encoding = encode_state(successor)
+            assert encoding not in encodings
+            encodings.add(encoding)
+
+    def test_encoding_rejects_unknown_types(self):
+        with pytest.raises(StateCodecError):
+            fp_input = bytearray()
+            from repro.verify.fingerprint import _encode_value
+
+            _encode_value(object(), fp_input)
+
+    def test_json_codec_round_trips(self):
+        for name in ("stache", "lcm"):
+            state = initial_state_of(name)
+            payload = state_to_jsonable(state)
+            json.dumps(payload)  # must be pure JSON
+            assert state_from_jsonable(payload) == state
+
+    def test_json_codec_round_trips_mid_exploration_states(self):
+        checker = make_serial("lcm", reorder=1)
+        checker._named_invariants = []
+        state = initial_state_of("lcm")
+        for _ in range(6):
+            _label, state = next(iter(checker._successors(state)))
+            restored = state_from_jsonable(
+                json.loads(json.dumps(state_to_jsonable(state))))
+            assert restored == state
+            assert fingerprint(restored) == fingerprint(state)
+
+
+class TestSerialFingerprintMode:
+    @pytest.mark.parametrize("name", ["stache", "lcm", "buffered_write"])
+    def test_matches_full_state_mode(self, name):
+        full = make_serial(name, reorder=1).run()
+        compact = make_serial(name, reorder=1,
+                              fingerprint_states=True).run()
+        assert compact.ok == full.ok
+        assert compact.states_explored == full.states_explored
+        assert compact.transitions == full.transitions
+        assert compact.max_depth == full.max_depth
+        assert compact.handler_fires == full.handler_fires
+
+    def test_violation_traces_replay(self):
+        # lcm_mcc deadlocks at 2 nodes / 2 addresses / reorder 1.
+        full = make_serial("lcm_mcc", n_blocks=2, reorder=1).run()
+        compact = make_serial("lcm_mcc", n_blocks=2, reorder=1,
+                              fingerprint_states=True).run()
+        assert not full.ok and not compact.ok
+        assert compact.violation.kind == full.violation.kind
+        assert compact.violation.trace == full.violation.trace
+        assert compact.violation.state is not None
+
+    def test_incompatible_with_liveness(self):
+        with pytest.raises(ValueError):
+            make_serial("stache", fingerprint_states=True,
+                        check_progress=True)
+
+
+class TestCollisionDetection:
+    def test_corrupted_trace_fails_replay(self):
+        checker = make_serial("lcm_mcc", n_blocks=2, reorder=1,
+                              fingerprint_states=True)
+        result = checker.run()
+        violation = result.violation
+        assert violation is not None
+        # A genuine trace replays fine...
+        checker.verify_violation(violation)
+        # ...but a trace corrupted the way a fingerprint collision would
+        # corrupt it (a wrong parent pointer = a wrong label somewhere)
+        # is detected, not reported.
+        corrupted = violation.trace[:1] + violation.trace[2:]
+        violation.trace = corrupted
+        with pytest.raises(FingerprintCollisionError):
+            checker.verify_violation(violation)
+
+    def test_replay_labels_rejects_unknown_label(self):
+        checker = make_serial("stache")
+        with pytest.raises(TraceReplayError):
+            replay_labels(checker.fresh_clone(), ["no such rule"])
+
+    def test_replay_labels_walks_a_real_trace(self):
+        result = make_serial("lcm_mcc", n_blocks=2, reorder=1).run()
+        final = replay_labels(make_serial("lcm_mcc", n_blocks=2, reorder=1),
+                              result.violation.trace)
+        assert final.summary() == result.violation.state.summary()
+
+
+class TestParallelDeterminism:
+    @pytest.mark.parametrize("name,reorder", [
+        ("stache", 1), ("lcm", 1), ("buffered_write", 0),
+    ])
+    def test_worker_counts_agree_with_serial(self, name, reorder):
+        serial = make_serial(name, reorder=reorder).run()
+        for workers in (1, 2, 4):
+            result = make_parallel(name, workers, reorder=reorder).run()
+            assert result.ok == serial.ok
+            assert result.states_explored == serial.states_explored
+            assert result.transitions == serial.transitions
+            assert result.max_depth == serial.max_depth
+            assert result.handler_fires == serial.handler_fires
+            assert result.invariant_evals == serial.invariant_evals
+            assert result.workers == workers
+            assert f"workers={workers}" in result.summary() or workers == 1
+
+    def test_violations_are_worker_count_independent(self):
+        outcomes = []
+        for workers in (1, 2, 4):
+            result = make_parallel("lcm_mcc", workers, n_blocks=2,
+                                   reorder=1).run()
+            assert not result.ok
+            # The trace was replay-validated internally; its end state
+            # was attached by the replay.
+            assert result.violation.state is not None
+            outcomes.append((result.states_explored,
+                             result.violation.kind,
+                             result.violation.message,
+                             len(result.violation.trace)))
+        assert len(set(outcomes)) == 1
+
+    def test_truncation_is_flagged(self):
+        result = make_parallel("lcm", 2, reorder=1, max_states=100).run()
+        assert result.ok
+        assert result.hit_state_limit
+        assert not result.exhausted
+        assert "state limit" in result.summary()
+
+
+class TestCheckpointResume:
+    def test_truncate_then_resume_matches_uninterrupted(self, tmp_path):
+        path = str(tmp_path / "check.json")
+        full = make_parallel("lcm_mcc", 2, reorder=1).run()
+        truncated = make_parallel("lcm_mcc", 2, reorder=1, max_states=100,
+                                  checkpoint_out=path).run()
+        assert not truncated.exhausted
+        # Resume at a *different* worker count: shards are reassigned
+        # by fingerprint, so any worker count can pick the run up.
+        resumed = make_parallel("lcm_mcc", 4, reorder=1,
+                                resume=path).run()
+        assert resumed.ok == full.ok
+        assert resumed.states_explored == full.states_explored
+        assert resumed.transitions == full.transitions
+        assert resumed.max_depth == full.max_depth
+        assert resumed.handler_fires == full.handler_fires
+        assert resumed.invariant_evals == full.invariant_evals
+
+    def test_checkpoint_is_pickle_free_json(self, tmp_path):
+        path = str(tmp_path / "check.json")
+        make_parallel("stache", 2, reorder=1, max_states=20,
+                      checkpoint_out=path).run()
+        payload = load_checkpoint(path)
+        assert payload["kind"] == "teapot-parallel-checkpoint"
+        assert payload["protocol"] == "Stache"
+        assert payload["visited"]
+        assert payload["frontier"]
+        # Every fingerprint is a 16-digit hex string, not binary.
+        assert all(len(fp) == 16 for fp in payload["visited"])
+
+    def test_resume_rejects_mismatched_config(self, tmp_path):
+        path = str(tmp_path / "check.json")
+        make_parallel("stache", 2, reorder=1, max_states=20,
+                      checkpoint_out=path).run()
+        with pytest.raises(CheckpointError):
+            make_parallel("stache", 2, reorder=0, resume=path).run()
+        with pytest.raises(CheckpointError):
+            make_parallel("lcm", 2, reorder=1, resume=path).run()
+
+    def test_load_checkpoint_rejects_garbage(self, tmp_path):
+        path = tmp_path / "not_a_checkpoint.json"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
