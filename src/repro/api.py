@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import IO, Optional, Union
 
 from repro.compiler.pipeline import compile_source
+from repro.faults import FaultBudget, FaultPlan, FaultRule, RecoveryConfig
 from repro.protocols import PROTOCOLS, compile_named_protocol
 from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
 from repro.tempest.machine import Machine, MachineConfig
@@ -61,6 +62,51 @@ class CompileOptions:
     # Initial (cache, home) state names for raw source without them.
     initial_states: Optional[tuple[str, str]] = None
     filename: str = "<string>"
+
+
+@dataclass(frozen=True)
+class FaultOptions:
+    """Fault injection and recovery for :func:`simulate`.
+
+    Builds a rate-based :class:`~repro.faults.FaultPlan` (every message
+    is independently dropped/duplicated with the given probability,
+    from ``seed``) unless ``plan`` points at a saved JSON plan -- e.g.
+    one exported from a checker counterexample via
+    ``Violation.to_fault_plan().save(path)`` -- in which case the plan
+    file wins and the rates are ignored.  ``watchdog=True`` layers the
+    timeout/retry/dedup recovery protocol on top (see
+    docs/ROBUSTNESS.md); without it a dropped message typically
+    deadlocks the run, by design.
+    """
+
+    drop: float = 0.0          # per-message drop probability
+    dup: float = 0.0           # per-message duplication probability
+    seed: int = 0              # fault RNG seed (independent of --seed)
+    max_faults: Optional[int] = None
+    plan: Optional[str] = None  # path to a teapot-fault-plan JSON file
+    watchdog: bool = False     # enable the timeout/retry recovery layer
+    timeout: int = 4000        # cycles before the first retry
+    backoff: float = 2.0       # timeout multiplier per attempt
+    retries: int = 5           # retry attempts before giving up
+
+    def build_plan(self) -> Optional[FaultPlan]:
+        if self.plan is not None:
+            return FaultPlan.load(self.plan)
+        rules = []
+        if self.drop:
+            rules.append(FaultRule(action="drop", rate=self.drop))
+        if self.dup:
+            rules.append(FaultRule(action="dup", rate=self.dup))
+        if not rules and self.max_faults is None:
+            return None
+        return FaultPlan(rules=tuple(rules), seed=self.seed,
+                         max_faults=self.max_faults)
+
+    def build_recovery(self) -> Optional[RecoveryConfig]:
+        if not self.watchdog:
+            return None
+        return RecoveryConfig(timeout=self.timeout, backoff=self.backoff,
+                              max_retries=self.retries)
 
 
 @dataclass(frozen=True)
@@ -89,6 +135,10 @@ class CheckOptions:
     checkpoint_out: Optional[str] = None
     resume: Optional[str] = None
     events: Optional[EventGenerator] = None
+    # Fault-bounded exploration: in every state the checker may also
+    # drop or duplicate any in-flight message, up to this per-path
+    # budget.  None = classic fault-free checking.
+    faults: Optional[FaultBudget] = None
     compile: CompileOptions = CompileOptions()
 
 
@@ -99,16 +149,22 @@ class SimOptions:
     nodes: int = 16
     # None = the workload's conventional block count.
     blocks: Optional[int] = None
-    # Network: seed the delay RNG (None = the default seed) and allow
-    # up to ``jitter`` cycles of random extra latency.  jitter > 0
-    # drops per-channel FIFO unless ``fifo`` pins it, so reordering is
-    # reproducible from the seed alone.
+    # Network: seed the delay RNG (None = the default seed, 12345 --
+    # every zero-fault run at the same seed/jitter is byte-identical,
+    # which the golden-trace tests enforce) and allow up to ``jitter``
+    # cycles of random extra latency.  jitter > 0 drops per-channel
+    # FIFO unless ``fifo`` pins it, so reordering is reproducible from
+    # the seed alone.
     seed: Optional[int] = None
     jitter: int = 0
     fifo: Optional[bool] = None
     trace: Optional[str] = None
     trace_format: str = "jsonl"
     metrics: Optional[str] = None
+    # Fault injection and the timeout/retry recovery layer; None keeps
+    # the network perfectly reliable (and the run byte-identical to
+    # builds without the fault subsystem).
+    faults: Optional[FaultOptions] = None
     compile: CompileOptions = CompileOptions()
 
 
@@ -125,6 +181,9 @@ class SimulateResult:
     machine: Optional[Machine] = None
     # The Table 1/2 row, when a registered workload was run.
     table_row: Optional[object] = None
+    # The fault plan the run executed under (its ledger records every
+    # injected fault); None for reliable-network runs.
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def fault_time_fraction(self) -> float:
@@ -209,6 +268,7 @@ def check(target: Target,
             progress_stream=progress_stream,
             progress_every=options.progress_every,
             fingerprint_states=options.fingerprints,
+            fault_budget=options.faults,
         ).run()
 
     if options.liveness:
@@ -229,6 +289,7 @@ def check(target: Target,
         progress_every=options.progress_every,
         checkpoint_out=options.checkpoint_out,
         resume=options.resume,
+        fault_budget=options.faults,
     ).run()
 
 
@@ -277,21 +338,29 @@ def simulate(target: Target,
             registry = MetricsRegistry(protocol.name)
         observer = Observer(open_sink(options.trace, options.trace_format),
                             registry)
+    fault_plan = None
+    recovery = None
+    if options.faults is not None:
+        fault_plan = options.faults.build_plan()
+        recovery = options.faults.build_recovery()
     config = MachineConfig(n_nodes=n_nodes, n_blocks=n_blocks,
-                           network=network, observer=observer)
+                           network=network, observer=observer,
+                           faults=fault_plan, recovery=recovery)
     try:
         if workload is not None:
             row = run_workload(protocol, workload, programs, n_blocks,
                                config=config)
             result = SimulateResult(
                 protocol_name=protocol.name, workload=workload,
-                cycles=row.cycles, stats=row.stats, table_row=row)
+                cycles=row.cycles, stats=row.stats, table_row=row,
+                fault_plan=fault_plan)
         else:
             machine = Machine(protocol, programs, config)
             sim = machine.run()
             result = SimulateResult(
                 protocol_name=protocol.name, workload=None,
-                cycles=sim.cycles, stats=sim.stats, machine=machine)
+                cycles=sim.cycles, stats=sim.stats, machine=machine,
+                fault_plan=fault_plan)
     finally:
         if observer is not None:
             observer.close()

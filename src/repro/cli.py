@@ -26,9 +26,14 @@ import argparse
 import sys
 
 from repro import api
-from repro.api import CheckOptions, CompileOptions, SimOptions
+from repro.api import CheckOptions, CompileOptions, FaultOptions, SimOptions
 from repro.backends import emit_c, emit_murphi, emit_python
-from repro.lang.errors import TeapotError, format_error_with_context
+from repro.faults import FaultBudget, FaultPlanError
+from repro.lang.errors import (
+    RuntimeProtocolError,
+    TeapotError,
+    format_error_with_context,
+)
 from repro.lang.parser import parse_program
 from repro.lang.typecheck import check_program
 from repro.runtime.protocol import OptLevel
@@ -131,6 +136,15 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _parse_fault_budget(spec) -> "FaultBudget | None":
+    if not spec:
+        return None
+    try:
+        return FaultBudget.parse(spec)
+    except (FaultPlanError, ValueError) as error:
+        raise TeapotError(f"--faults {spec!r}: {error}") from None
+
+
 def cmd_verify(args) -> int:
     protocol, name = _load(args.protocol, _opt_level(args))
     options = _check_options(
@@ -142,6 +156,7 @@ def cmd_verify(args) -> int:
         progress_every=args.progress_every,
         checkpoint_out=args.checkpoint_out,
         resume=args.resume,
+        faults=_parse_fault_budget(args.faults),
     )
     try:
         result = api.check(protocol, options)
@@ -179,12 +194,42 @@ def cmd_verify(args) -> int:
             result.violation.write_trace(args.trace_out)
             print(f"wrote counterexample trace to {args.trace_out}",
                   file=sys.stderr)
+        if args.fault_plan_out:
+            schedule = result.violation.fault_schedule()
+            if schedule:
+                result.violation.to_fault_plan().save(args.fault_plan_out)
+                print(f"wrote fault plan to {args.fault_plan_out} "
+                      f"(replay with `teapot run ... --fault-plan "
+                      f"{args.fault_plan_out}`)", file=sys.stderr)
+            else:
+                print("no faults on the counterexample path; "
+                      "no fault plan written", file=sys.stderr)
         return 1
     return 0
 
 
+def _fault_options(args) -> "FaultOptions | None":
+    """run's fault flags -> a FaultOptions record (None when all off)."""
+    injecting = (args.fault_plan or args.drop or args.dup
+                 or args.max_faults is not None)
+    if not injecting and not args.watchdog:
+        return None
+    return FaultOptions(
+        drop=args.drop,
+        dup=args.dup,
+        seed=args.fault_seed,
+        max_faults=args.max_faults,
+        plan=args.fault_plan,
+        watchdog=args.watchdog,
+        timeout=args.timeout,
+        backoff=args.backoff,
+        retries=args.retries,
+    )
+
+
 def cmd_run(args) -> int:
     protocol, _name = _load(args.protocol, _opt_level(args))
+    faults = _fault_options(args)
     options = SimOptions(
         nodes=args.nodes,
         seed=args.seed,
@@ -192,12 +237,22 @@ def cmd_run(args) -> int:
         trace=args.trace,
         trace_format=args.trace_format,
         metrics=args.metrics,
+        faults=faults,
     )
     try:
         result = api.simulate(protocol, workload=args.workload,
                               options=options)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (RuntimeProtocolError, AssertionError) as error:
+        # A failed run (deadlock, event-budget exhaustion, non-quiescent
+        # finish) is an outcome, not a crash: one readable report and a
+        # nonzero exit instead of a traceback.
+        print(f"error: simulation failed: {error}", file=sys.stderr)
+        if faults is not None and not args.watchdog:
+            print("hint: faults were injected without the recovery "
+                  "layer; retry with --watchdog", file=sys.stderr)
         return 1
     if args.trace:
         print(f"wrote {args.trace_format} trace to {args.trace}",
@@ -217,6 +272,12 @@ def cmd_run(args) -> int:
     print(f"allocs:     {counters.cont_allocs} continuation records, "
           f"{counters.queue_allocs} queue records")
     print(f"fault time: {result.fault_time_fraction:.0%}")
+    if result.fault_plan is not None:
+        print(f"injected:   {result.fault_plan.ledger.summary()}")
+    if faults is not None and args.watchdog:
+        print(f"recovery:   {counters.timeouts} timeouts, "
+              f"{counters.retries} retries, "
+              f"{counters.dups_absorbed} duplicates absorbed")
     return 0
 
 
@@ -277,9 +338,31 @@ def cmd_analyze_coverage(args) -> int:
         TraceError,
         coverage_from_checker,
         coverage_from_trace,
+        format_fault_only,
         load_trace,
     )
 
+    if args.verify and args.faults:
+        # Fault-only coverage: explore fault-free and fault-bounded,
+        # then flag the arms only the faulted exploration reaches.
+        protocol, name = _load(args.verify, OptLevel.O2)
+        base = coverage_from_checker(
+            protocol, api.check(protocol, _check_options(args, name)))
+        budget = _parse_fault_budget(args.faults)
+        faulted_result = api.check(
+            protocol, _check_options(args, name, faults=budget))
+        faulted = coverage_from_checker(protocol, faulted_result)
+        if not faulted_result.ok:
+            print(f"note: faulted exploration FAILED "
+                  f"({faulted_result.violation.kind}); its coverage is "
+                  "of the states reached before the violation",
+                  file=sys.stderr)
+        print(format_fault_only(base, faulted, args.faults), end="")
+        if args.output:
+            faulted.save(args.output)
+            print(f"wrote faulted coverage report to {args.output}",
+                  file=sys.stderr)
+        return 0
     if args.verify:
         protocol, name = _load(args.verify, OptLevel.O2)
         result = api.check(protocol, _check_options(args, name))
@@ -429,6 +512,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", metavar="PATH",
                    help="with --workers: continue from a checkpoint "
                         "(written at any worker count)")
+    p.add_argument("--faults", metavar="SPEC",
+                   help="fault-bounded exploration: also drop/duplicate "
+                        "in-flight messages, up to a per-path budget "
+                        "(e.g. drop=1 or drop=1,dup=1); a protocol that "
+                        "passes fault-free but FAILs here needs the "
+                        "recovery layer (see docs/ROBUSTNESS.md)")
+    p.add_argument("--fault-plan-out", metavar="PATH",
+                   help="with --faults: save the counterexample's fault "
+                        "schedule as a plan JSON replayable via "
+                        "`teapot run --fault-plan`")
     p.add_argument("--trace-out", metavar="PATH",
                    help="dump any counterexample trace as JSONL events")
     p.add_argument("--coverage-out", metavar="PATH",
@@ -445,10 +538,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=16)
     p.add_argument("--seed", type=int, default=None, metavar="N",
                    help="seed the network delay RNG so jittered "
-                        "(reordered) runs are reproducible")
+                        "(reordered) runs are reproducible "
+                        "(default 12345; fault-free runs at the same "
+                        "seed/jitter are byte-identical)")
     p.add_argument("--jitter", type=int, default=0, metavar="CYCLES",
                    help="max random extra network latency; > 0 drops "
                         "per-channel FIFO, exercising reordering")
+    p.add_argument("--fault-plan", metavar="PATH",
+                   help="inject faults from a saved plan JSON (e.g. one "
+                        "exported by `teapot verify --fault-plan-out`); "
+                        "overrides --drop/--dup")
+    p.add_argument("--drop", type=float, default=0.0, metavar="P",
+                   help="drop each message with probability P "
+                        "(deterministic from --fault-seed)")
+    p.add_argument("--dup", type=float, default=0.0, metavar="P",
+                   help="duplicate each message with probability P")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="fault RNG seed, independent of --seed (the "
+                        "delay RNG never sees fault decisions)")
+    p.add_argument("--max-faults", type=int, default=None, metavar="N",
+                   help="cap the total number of injected faults")
+    p.add_argument("--watchdog", action="store_true",
+                   help="enable the timeout/retry/dedup recovery layer "
+                        "(see docs/ROBUSTNESS.md); without it a dropped "
+                        "message typically deadlocks the run")
+    p.add_argument("--timeout", type=int, default=4000, metavar="CYCLES",
+                   help="watchdog: cycles before the first retry "
+                        "(default 4000)")
+    p.add_argument("--backoff", type=float, default=2.0, metavar="F",
+                   help="watchdog: timeout multiplier per attempt "
+                        "(default 2.0)")
+    p.add_argument("--retries", type=int, default=5, metavar="N",
+                   help="watchdog: attempts before giving up (default 5)")
     p.add_argument("--trace", metavar="PATH",
                    help="write a structured event trace of the run")
     p.add_argument("--trace-format", choices=("jsonl", "chrome"),
@@ -507,6 +628,10 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--addresses", type=int, default=1)
     q.add_argument("--reorder", type=int, default=0)
     q.add_argument("--max-states", type=int, default=2_000_000)
+    q.add_argument("--faults", metavar="SPEC",
+                   help="with --verify: also explore under this fault "
+                        "budget (e.g. drop=1,dup=1) and flag arms "
+                        "reachable only when faults are injected")
     q.add_argument("-o", "--output", metavar="PATH",
                    help="also save the report as JSON (for diff)")
     q.add_argument("--strict", action="store_true",

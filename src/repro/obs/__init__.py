@@ -27,6 +27,7 @@ identical to a build without this package.
 from repro.obs.metrics import MetricsRegistry, format_metrics
 from repro.obs.observer import Observer
 from repro.obs.sinks import (
+    MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
     ChromeTraceSink,
     JsonlSink,
@@ -39,6 +40,7 @@ __all__ = [
     "ChromeTraceSink",
     "JsonlSink",
     "MetricsRegistry",
+    "MIN_SCHEMA_VERSION",
     "NullSink",
     "Observer",
     "SCHEMA_VERSION",

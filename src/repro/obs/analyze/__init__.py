@@ -34,6 +34,8 @@ from repro.obs.analyze.coverage import (
     arm_universe,
     coverage_from_checker,
     coverage_from_trace,
+    fault_only_arms,
+    format_fault_only,
     load_coverage,
 )
 from repro.obs.analyze.diff import diff_coverage, diff_traces
@@ -55,6 +57,8 @@ __all__ = [
     "arm_universe",
     "coverage_from_trace",
     "coverage_from_checker",
+    "fault_only_arms",
+    "format_fault_only",
     "load_coverage",
     "diff_traces",
     "diff_coverage",

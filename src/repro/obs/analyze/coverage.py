@@ -200,16 +200,54 @@ def coverage_from_checker(protocol: CompiledProtocol, result
                           ) -> CoverageReport:
     """Wrap a CheckResult's fire counts (its ``handler_fires`` field)."""
     arms, guards = arm_universe(protocol)
+    config = {
+        "nodes": result.n_nodes,
+        "addrs": result.n_blocks,
+        "reorder": result.reorder_bound,
+        "states": result.states_explored,
+    }
+    budget = getattr(result, "fault_budget", (0, 0))
+    if budget != (0, 0):
+        config["faults"] = f"drop={budget[0]},dup={budget[1]}"
     return CoverageReport(
         protocol=protocol.name,
         source="checker",
-        config={
-            "nodes": result.n_nodes,
-            "addrs": result.n_blocks,
-            "reorder": result.reorder_bound,
-            "states": result.states_explored,
-        },
+        config=config,
         fired=dict(result.handler_fires),
         arms=arms,
         guards=guards,
     )
+
+
+def fault_only_arms(base: CoverageReport,
+                    faulted: CoverageReport) -> list[str]:
+    """Arms (including error guards) that fired under a fault budget but
+    never in the fault-free exploration -- code that exists purely to
+    handle lossy/duplicating networks, or guards a fault can trip."""
+    if base.protocol != faulted.protocol:
+        raise TraceError(
+            f"cannot compare coverage of {base.protocol} against "
+            f"{faulted.protocol}")
+    return sorted(
+        arm for arm, count in faulted.fired.items()
+        if count and not base.fired.get(arm))
+
+
+def format_fault_only(base: CoverageReport, faulted: CoverageReport,
+                      budget: str) -> str:
+    """Human-readable fault-only coverage comparison."""
+    only = fault_only_arms(base, faulted)
+    lines = [
+        f"protocol: {base.protocol}",
+        f"fault-free exploration: {base.headline()}",
+        f"under {budget}: {faulted.headline()}",
+    ]
+    if only:
+        lines.append(f"arms reachable only under faults ({len(only)}):")
+        for arm in only:
+            marker = "  [error guard]" if arm in faulted.guards else ""
+            lines.append(f"  {arm}{marker}")
+    else:
+        lines.append("no arm fired under faults that the fault-free "
+                     "exploration missed")
+    return "\n".join(lines) + "\n"

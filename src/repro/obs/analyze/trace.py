@@ -7,8 +7,10 @@ order, so it is a valid topological order of the happens-before relation
 before replay -- points backwards in file order); the analyses in this
 package rely on that.
 
-Every event must carry the schema-version field ``v`` matching
-:data:`~repro.obs.sinks.SCHEMA_VERSION`; traces from older builds are
+Every event must carry the schema-version field ``v`` inside the range
+[:data:`~repro.obs.sinks.MIN_SCHEMA_VERSION`,
+:data:`~repro.obs.sinks.SCHEMA_VERSION`] (each kind is stamped with the
+version in which it last changed); traces from other builds are
 rejected with a :class:`TraceError` asking for regeneration rather than
 silently misread.
 """
@@ -19,7 +21,7 @@ import json
 from typing import Optional
 
 from repro.lang.errors import TeapotError
-from repro.obs.sinks import SCHEMA_VERSION
+from repro.obs.sinks import MIN_SCHEMA_VERSION, SCHEMA_VERSION
 
 
 class TraceError(TeapotError):
@@ -43,6 +45,10 @@ _LOCATION_FIELD = {
     "replay": "node",
     "nack": "node",
     "error": "node",
+    "net.drop": "src",
+    "net.dup": "src",
+    "retry": "node",
+    "timeout": "node",
 }
 
 
@@ -73,10 +79,11 @@ def load_events(path: str) -> list[dict]:
             raise TraceError(
                 f"{path}:{lineno}: unversioned event (schema v1?); "
                 "regenerate the trace with this build's --trace")
-        if version != SCHEMA_VERSION:
+        if not (MIN_SCHEMA_VERSION <= version <= SCHEMA_VERSION):
             raise TraceError(
                 f"{path}:{lineno}: schema version {version}, but this "
-                f"build reads version {SCHEMA_VERSION}")
+                f"build reads versions {MIN_SCHEMA_VERSION}.."
+                f"{SCHEMA_VERSION}")
         events.append(event)
     if not events:
         raise TraceError(f"{path}: empty trace (no events)")
@@ -230,6 +237,16 @@ class Trace:
             return f"nack {e['tag']} -> n{e['dst']}"
         if kind == "error":
             return f"error: {e['text']}"
+        if kind == "net.drop":
+            return f"DROP {e['tag']} b{e['block']} -> n{e['dst']}"
+        if kind == "net.dup":
+            return f"DUP #{e['seq']} {e['tag']} b{e['block']} -> n{e['dst']}"
+        if kind == "retry":
+            return (f"retry {e['tag']} b{e['block']} -> n{e['dst']} "
+                    f"(attempt {e['attempt']})")
+        if kind == "timeout":
+            return (f"timeout b{e['block']} after {e['waited']}cy "
+                    f"(attempt {e['attempt']})")
         return kind
 
 

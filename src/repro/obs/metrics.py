@@ -36,6 +36,7 @@ class HandlerMetrics:
     resumes: int = 0
     queue_allocs: int = 0
     queue_hwm: int = 0
+    retries: int = 0
 
     def record_dispatch(self, cycles: int) -> None:
         self.dispatches += 1
@@ -90,6 +91,12 @@ class MetricsRegistry:
         if depth > metrics.queue_hwm:
             metrics.queue_hwm = depth
 
+    def record_retry(self, state: str, msg: str) -> None:
+        """A watchdog re-sent a request ``msg`` while the faulted block
+        sat in protocol state ``state``; attributed to that arm so the
+        report shows where retries pile up."""
+        self.handler(state, msg).retries += 1
+
     def gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value
 
@@ -124,6 +131,7 @@ class MetricsRegistry:
                     "resumes": m.resumes,
                     "queue_allocs": m.queue_allocs,
                     "queue_hwm": m.queue_hwm,
+                    "retries": m.retries,
                 }
                 for (state, msg), m in sorted(
                     self.handlers.items(),
@@ -149,17 +157,23 @@ def format_metrics(data: dict) -> str:
     lines.append(f"protocol: {protocol}")
     handlers = data.get("handlers", [])
     if handlers:
+        show_retries = any(row.get("retries") for row in handlers)
+        retry_head = f" {'retry':>6s}" if show_retries else ""
         lines.append(
             f"{'handler':34s} {'calls':>7s} {'cycles':>10s} {'mean':>8s} "
-            f"{'max':>7s} {'susp':>5s} {'conts':>7s} {'queue':>7s}")
+            f"{'max':>7s} {'susp':>5s} {'conts':>7s} {'queue':>7s}"
+            + retry_head)
         for row in handlers:
             name = f"{row['state']}.{row['msg']}"
             conts = f"{row['cont_allocs']}/{row['static_conts']}"
             queue = f"{row['queue_allocs']}/{row['queue_hwm']}"
+            retry_cell = (f" {row.get('retries', 0):>6d}"
+                          if show_retries else "")
             lines.append(
                 f"{name:34s} {row['dispatches']:>7d} {row['cycles']:>10d} "
                 f"{row['mean_cycles']:>8.1f} {row['max_cycles']:>7d} "
-                f"{row['suspends']:>5d} {conts:>7s} {queue:>7s}")
+                f"{row['suspends']:>5d} {conts:>7s} {queue:>7s}"
+                + retry_cell)
         lines.append("(conts = heap/static continuation records; "
                      "queue = allocs/high-water mark)")
     totals = data.get("totals", {})
@@ -169,6 +183,9 @@ def format_metrics(data: dict) -> str:
             "cont_allocs", "static_cont_uses", "queue_allocs",
             "suspends", "resumes", "direct_resumes", "nacks",
         ]
+        for name in ("timeouts", "retries", "dups_absorbed"):
+            if totals.get(name):
+                shown.append(name)
         parts = [f"{name}={totals[name]}" for name in shown
                  if name in totals]
         lines.append("totals:  " + "  ".join(parts))

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.sinks import NULL_SINK, SCHEMA_VERSION, TraceSink
+from repro.obs.sinks import NULL_SINK, V_CORE, V_FAULTS, TraceSink
 
 
 class Observer:
@@ -48,7 +48,7 @@ class Observer:
                       src: int, t: int) -> None:
         self._current = (state, msg)
         if self.sink:
-            self.sink.emit({"ev": "handler_entry", "v": SCHEMA_VERSION,
+            self.sink.emit({"ev": "handler_entry", "v": V_CORE,
                             "t": t, "node": node, "block": block, "state": state, "msg": msg,
                             "src": src})
 
@@ -58,7 +58,7 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_dispatch(state, msg, end - start)
         if self.sink:
-            self.sink.emit({"ev": "handler_exit", "v": SCHEMA_VERSION,
+            self.sink.emit({"ev": "handler_exit", "v": V_CORE,
                             "t": end, "node": node, "block": block, "state": state, "msg": msg,
                             "start": start, "cycles": end - start})
 
@@ -70,7 +70,7 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_suspend(state, msg, static)
         if self.sink:
-            self.sink.emit({"ev": "suspend", "v": SCHEMA_VERSION, "t": t,
+            self.sink.emit({"ev": "suspend", "v": V_CORE, "t": t,
                             "node": node,
                             "block": block, "handler": handler,
                             "site": site, "cont": f"{handler}#{site}",
@@ -83,7 +83,7 @@ class Observer:
         if self.metrics is not None:
             self.metrics.record_resume(state, msg)
         if self.sink:
-            self.sink.emit({"ev": "resume", "v": SCHEMA_VERSION, "t": t,
+            self.sink.emit({"ev": "resume", "v": V_CORE, "t": t,
                             "node": node,
                             "block": block, "handler": handler,
                             "site": site, "cont": f"{handler}#{site}",
@@ -98,7 +98,7 @@ class Observer:
     def send(self, seq: int, tag: str, block: int, src: int, dst: int,
              with_data: bool, t: int, arrival: int) -> None:
         if self.sink:
-            self.sink.emit({"ev": "send", "v": SCHEMA_VERSION, "t": t,
+            self.sink.emit({"ev": "send", "v": V_CORE, "t": t,
                             "seq": seq, "tag": tag,
                             "block": block, "src": src, "dst": dst,
                             "data": with_data, "arrival": arrival})
@@ -106,23 +106,64 @@ class Observer:
     def deliver(self, seq: int, tag: str, block: int, src: int, dst: int,
                 t: int, reorder: bool) -> None:
         if self.sink:
-            self.sink.emit({"ev": "deliver", "v": SCHEMA_VERSION, "t": t,
+            self.sink.emit({"ev": "deliver", "v": V_CORE, "t": t,
                             "seq": seq,
                             "tag": tag, "block": block, "src": src,
                             "dst": dst, "reorder": reorder})
+
+    # -- fault injection and recovery (schema v3 kinds) --------------------
+
+    def net_drop(self, tag: str, block: int, src: int, dst: int,
+                 t: int) -> None:
+        """The fault plan dropped a message at send time (no matching
+        send/deliver pair will appear)."""
+        if self.sink:
+            self.sink.emit({"ev": "net.drop", "v": V_FAULTS, "t": t,
+                            "tag": tag, "block": block, "src": src,
+                            "dst": dst})
+
+    def net_dup(self, seq: int, tag: str, block: int, src: int, dst: int,
+                t: int, arrival: int) -> None:
+        """An extra copy scheduled by the fault plan; its deliver event
+        carries this seq, which no send event carries."""
+        if self.sink:
+            self.sink.emit({"ev": "net.dup", "v": V_FAULTS, "t": t,
+                            "seq": seq, "tag": tag, "block": block,
+                            "src": src, "dst": dst, "arrival": arrival})
+
+    def retry(self, node: int, block: int, tag: str, dst: int,
+              attempt: int, t: int, state: Optional[str] = None) -> None:
+        """The watchdog re-injected one captured request message."""
+        if self.metrics is not None and state is not None:
+            self.metrics.record_retry(state, tag)
+        if self.sink:
+            event = {"ev": "retry", "v": V_FAULTS, "t": t, "node": node,
+                     "block": block, "tag": tag, "dst": dst,
+                     "attempt": attempt}
+            if state is not None:
+                event["state"] = state
+            self.sink.emit(event)
+
+    def timeout(self, node: int, block: int, attempt: int, waited: int,
+                t: int) -> None:
+        """A blocked access fault's watchdog timer expired."""
+        if self.sink:
+            self.sink.emit({"ev": "timeout", "v": V_FAULTS, "t": t,
+                            "node": node, "block": block,
+                            "attempt": attempt, "waited": waited})
 
     # -- faults ------------------------------------------------------------
 
     def fault_begin(self, node: int, block: int, tag: str, t: int) -> None:
         if self.sink:
-            self.sink.emit({"ev": "fault_begin", "v": SCHEMA_VERSION,
+            self.sink.emit({"ev": "fault_begin", "v": V_CORE,
                             "t": t, "node": node,
                             "block": block, "tag": tag})
 
     def fault_end(self, node: int, block: int, start: int, t: int,
                   sync: bool = False) -> None:
         if self.sink:
-            self.sink.emit({"ev": "fault_end", "v": SCHEMA_VERSION,
+            self.sink.emit({"ev": "fault_end", "v": V_CORE,
                             "t": t, "node": node,
                             "block": block, "start": start,
                             "wait": t - start, "sync": sync})
@@ -132,7 +173,7 @@ class Observer:
     def state_change(self, node: int, block: int, old: str, new: str,
                      args: tuple, t: int) -> None:
         if self.sink:
-            event = {"ev": "state", "v": SCHEMA_VERSION, "t": t,
+            event = {"ev": "state", "v": V_CORE, "t": t,
                      "node": node, "block": block,
                      "from": old, "to": new}
             if args:
@@ -145,7 +186,7 @@ class Observer:
         if self.metrics is not None and current is not None:
             self.metrics.record_queue(current[0], current[1], depth)
         if self.sink:
-            event = {"ev": "queue", "v": SCHEMA_VERSION, "t": t,
+            event = {"ev": "queue", "v": V_CORE, "t": t,
                      "node": node, "block": block,
                      "tag": tag, "depth": depth}
             self._attribute(event)
@@ -161,14 +202,14 @@ class Observer:
         chain survives the defer/redeliver hop.
         """
         if self.sink:
-            self.sink.emit({"ev": "replay", "v": SCHEMA_VERSION, "t": t,
+            self.sink.emit({"ev": "replay", "v": V_CORE, "t": t,
                             "node": node, "block": block,
                             "tag": tag, "src": src})
 
     def nack(self, node: int, block: int, tag: str, dst: int,
              t: int) -> None:
         if self.sink:
-            event = {"ev": "nack", "v": SCHEMA_VERSION, "t": t,
+            event = {"ev": "nack", "v": V_CORE, "t": t,
                      "node": node, "block": block,
                      "tag": tag, "dst": dst}
             self._attribute(event)
@@ -176,7 +217,7 @@ class Observer:
 
     def error(self, node: int, text: str, t: int) -> None:
         if self.sink:
-            event = {"ev": "error", "v": SCHEMA_VERSION, "t": t,
+            event = {"ev": "error", "v": V_CORE, "t": t,
                      "node": node, "text": text}
             self._attribute(event)
             self.sink.emit(event)

@@ -20,8 +20,12 @@ queue           t, node, block, tag, depth, (state, msg)
 replay          t, node, block, tag, src
 nack            t, node, block, tag, dst, (state, msg)
 error           t, node, text, (state, msg)
+net.drop        t, tag, block, src, dst
+net.dup         t, seq, tag, block, src, dst, arrival
+retry           t, node, block, tag, dst, attempt, (state)
+timeout         t, node, block, attempt, waited
 checker_step    step, label
-violation       kind, message, (state)
+violation       kind, message, (state), (faults)
 ==============  ==============================================================
 
 ``t`` is simulated cycles (checker events have no clock and omit it).
@@ -34,9 +38,15 @@ earlier one on the same (node, block) with the same tag.  ``sync`` on a
 fault_end marks a fault satisfied inside its own protocol action (its
 wait is protocol time, not counted in fault_wait_cycles).
 
-``SCHEMA_VERSION`` is stamped on every event so analyses can reject
-traces they do not understand.  History: version 1 events (PR 1) had no
-``v`` field; version 2 added ``v``, ``replay``, and ``fault_end.sync``.
+Each event's ``v`` is the schema version in which its *kind* last
+changed, so analyses can reject traces they do not understand while a
+trace containing only pre-fault kinds stays byte-identical to one
+written by an older build.  Readers accept the closed range
+[``MIN_SCHEMA_VERSION``, ``SCHEMA_VERSION``].  History: version 1
+events (PR 1) had no ``v`` field; version 2 added ``v``, ``replay``,
+and ``fault_end.sync``; version 3 added the fault-injection kinds
+``net.drop``/``net.dup``/``retry``/``timeout`` (existing kinds are
+unchanged and keep stamping ``v=2``).
 """
 
 from __future__ import annotations
@@ -44,7 +54,10 @@ from __future__ import annotations
 import json
 from typing import IO, Optional, Union
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3       # current writer/reader version
+MIN_SCHEMA_VERSION = 2   # oldest version this build still reads
+V_CORE = 2               # stamped on kinds unchanged since version 2
+V_FAULTS = 3             # stamped on the fault kinds new in version 3
 
 
 class TraceSink:
@@ -200,8 +213,15 @@ class ChromeTraceSink(TraceSink):
                 event["t"],
                 {"seq": event["seq"], "src": event["src"],
                  "reorder": event["reorder"]})
+        elif kind in ("net.drop", "net.dup"):
+            src = event["src"]
+            self._name_tid(_proto_tid(src), f"node {src} protocol")
+            args = {k: v for k, v in event.items()
+                    if k not in ("ev", "t", "v", "src")}
+            self._instant(f"{kind} {event['tag']}", _proto_tid(src),
+                          event["t"], args)
         elif kind in ("suspend", "resume", "state", "queue", "replay",
-                      "nack", "error", "fault_begin"):
+                      "nack", "error", "fault_begin", "retry", "timeout"):
             args = {k: v for k, v in event.items()
                     if k not in ("ev", "t", "v")}
             self._instant(kind, _proto_tid(node or 0),

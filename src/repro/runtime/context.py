@@ -26,6 +26,14 @@ class Message:
 
     ``data`` carries block contents for SendBlk-style transfers; control
     messages leave it None.  ``payload`` is a tuple of simple values.
+
+    ``seq`` is a machine-wide wire sequence number, stamped only when
+    fault injection or recovery is enabled (``None`` otherwise, so
+    zero-fault runs are untouched).  A retried message keeps its
+    original ``seq``; the receiving node's dedup layer uses
+    ``(src, seq)`` to absorb duplicates.  It is identity metadata, not
+    protocol state: excluded from repr, checker fingerprints, and the
+    JSON state codec.
     """
 
     tag: str
@@ -34,6 +42,7 @@ class Message:
     dst: int
     payload: tuple = ()
     data: Optional[tuple] = None
+    seq: Optional[int] = None
 
     def __repr__(self) -> str:
         parts = [f"{self.tag} blk={self.block} {self.src}->{self.dst}"]
@@ -94,6 +103,9 @@ class RuntimeCounters:
     suspends: int = 0
     nacks: int = 0
     errors: int = 0
+    timeouts: int = 0           # watchdog expiries on a blocked fault
+    retries: int = 0            # request messages re-injected by retries
+    dups_absorbed: int = 0      # deliveries absorbed by the dedup layer
 
     @property
     def alloc_records(self) -> int:

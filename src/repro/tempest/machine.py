@@ -11,6 +11,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.faults import FaultPlan, RecoveryConfig
 from repro.lang.errors import RuntimeProtocolError, SimulationLimitError
 from repro.obs import Observer
 from repro.runtime.context import CostModel, Message
@@ -37,6 +38,14 @@ class MachineConfig:
     # Observability: None (the default) runs fully uninstrumented and is
     # guaranteed cycle-identical to a build without repro.obs.
     observer: Optional[Observer] = None
+    # Fault injection: None (the default) keeps the perfect network and
+    # the exact pre-fault-injection event stream.  With a plan attached,
+    # messages get wire sequence numbers and the network may drop,
+    # duplicate, delay, or stall-defer them.
+    faults: Optional[FaultPlan] = None
+    # Timeout/retry/dedup recovery at the node layer; independent of
+    # ``faults`` (retries also help on merely-slow networks).
+    recovery: Optional[RecoveryConfig] = None
 
 
 @dataclass
@@ -63,7 +72,13 @@ class Machine:
             raise ValueError(
                 f"need {self.config.n_nodes} programs, got {len(programs)}")
         self.support = support or {}
-        self.network = Network(self.config.network)
+        self.network = Network(self.config.network, plan=self.config.faults)
+        # Wire sequence numbers exist only when faults or recovery are
+        # on; otherwise messages keep seq=None and the whole fault path
+        # is dead code.
+        self._stamp_seqs = (self.config.faults is not None
+                            or self.config.recovery is not None)
+        self._wire_seq = 0
         # An Observer whose channels are all off (null sink, no metrics)
         # is dropped here so every emit site takes the uninstrumented
         # ``obs is None`` fast path -- see BENCH_obs_overhead.json.
@@ -108,17 +123,45 @@ class Machine:
         heapq.heappush(self._events, (time, self._seq, kind, payload))
         return self._seq
 
+    def next_wire_seq(self) -> Optional[int]:
+        if not self._stamp_seqs:
+            return None
+        self._wire_seq += 1
+        return self._wire_seq
+
     def inject(self, message: Message, send_time: int) -> None:
         """Called by node contexts to transmit a protocol message."""
-        arrival = self.network.arrival_time(message, send_time)
-        seq = self._push(arrival, "deliver", message)
+        network = self.network
         obs = self.obs
-        if obs is not None:
-            obs.send(seq, message.tag, message.block, message.src,
-                     message.dst, message.data is not None, send_time,
-                     arrival)
-            if len(self._events) > self._event_queue_hwm:
-                self._event_queue_hwm = len(self._events)
+        if network.plan is None:
+            arrival = network.arrival_time(message, send_time)
+            seq = self._push(arrival, "deliver", message)
+            if obs is not None:
+                obs.send(seq, message.tag, message.block, message.src,
+                         message.dst, message.data is not None, send_time,
+                         arrival)
+                if len(self._events) > self._event_queue_hwm:
+                    self._event_queue_hwm = len(self._events)
+            return
+        arrivals = network.deliveries(message, send_time)
+        if not arrivals:
+            if obs is not None:
+                obs.net_drop(message.tag, message.block, message.src,
+                             message.dst, send_time)
+            return
+        for arrival, how in arrivals:
+            seq = self._push(arrival, "deliver", message)
+            if obs is not None:
+                if how == "deliver":
+                    obs.send(seq, message.tag, message.block, message.src,
+                             message.dst, message.data is not None,
+                             send_time, arrival)
+                else:
+                    obs.net_dup(seq, message.tag, message.block,
+                                message.src, message.dst, send_time,
+                                arrival)
+        if obs is not None and len(self._events) > self._event_queue_hwm:
+            self._event_queue_hwm = len(self._events)
 
     def schedule_app(self, node_id: int, at_time: int) -> None:
         self._push(at_time, "app", node_id)
@@ -175,6 +218,10 @@ class Machine:
                 self.nodes[message.dst].handle_message(message, time)
             elif kind == "app":
                 self.nodes[payload].run_app(time)
+            elif kind == "watchdog":
+                node_id, block, epoch, attempt = payload
+                self.nodes[node_id].watchdog_fire(block, epoch, attempt,
+                                                  time)
             else:  # pragma: no cover - exhaustive over event kinds
                 raise RuntimeProtocolError(f"unknown event {kind!r}")
 
@@ -186,21 +233,43 @@ class Machine:
         stuck = [n for n in self.nodes if not n.finished]
         if not stuck:
             return
-        details = []
+        finished = [n.node_id for n in self.nodes if n.finished]
+        lines = ["deadlock: event queue drained but "
+                 f"{len(stuck)} of {len(self.nodes)} nodes are unfinished"]
         for node in stuck:
             if node.blocked_on is not None:
                 record = node.store.record(node.blocked_on)
-                details.append(
-                    f"node {node.node_id} blocked on block "
-                    f"{node.blocked_on} (state {record.state_name})")
+                status = (f"blocked on block {node.blocked_on} "
+                          f"(state {record.state_name})")
+                if node.retries_exhausted:
+                    status += (", retries exhausted after "
+                               f"{node.stats.counters.retries} re-sends")
             elif node.at_barrier:
-                details.append(f"node {node.node_id} waiting at a barrier")
+                status = "waiting at a barrier"
             else:
-                details.append(
-                    f"node {node.node_id} stalled at op {node.pc}")
-        raise RuntimeProtocolError(
-            "deadlock: no events pending but nodes are unfinished: "
-            + "; ".join(details))
+                status = "stalled"
+            lines.append(f"  node {node.node_id}: pc={node.pc} {status}")
+            transients = []
+            for record in node.store.records():
+                state = self.protocol.states.get(record.state_name)
+                transient = state is not None and state.transient
+                if transient or record.deferred:
+                    entry = f"block {record.block} in {record.state_name}"
+                    if record.deferred:
+                        entry += (f" ({len(record.deferred)} queued: "
+                                  + ", ".join(
+                                      m.tag for m in record.deferred[:3])
+                                  + ("..." if len(record.deferred) > 3
+                                     else "") + ")")
+                    transients.append(entry)
+            if transients:
+                lines.append("    " + "; ".join(transients))
+        if finished:
+            lines.append(f"  finished nodes: {finished}")
+        plan = self.network.plan
+        if plan is not None:
+            lines.append(f"  fault ledger: {plan.ledger.summary()}")
+        raise RuntimeProtocolError("\n".join(lines))
 
     def _execution_time(self) -> int:
         return max((n.busy_until for n in self.nodes), default=0)

@@ -24,10 +24,19 @@ class NetworkConfig:
 
 
 class Network:
-    """Computes arrival times; the machine's event queue does delivery."""
+    """Computes arrival times; the machine's event queue does delivery.
 
-    def __init__(self, config: NetworkConfig):
+    With a :class:`repro.faults.FaultPlan` attached the network becomes
+    lossy: ``deliveries`` consults the plan (whose decisions come from
+    the plan's own RNG, never this network's jitter RNG) and may drop,
+    duplicate, delay, or stall-defer each message.  Without a plan,
+    ``arrival_time`` is the whole story and behaviour is bit-for-bit
+    what it was before fault injection existed.
+    """
+
+    def __init__(self, config: NetworkConfig, plan=None):
         self.config = config
+        self.plan = plan
         self._rng = random.Random(config.seed)
         # Last scheduled arrival per (src, dst), for FIFO clamping.
         self._last_arrival: dict[tuple[int, int], int] = {}
@@ -45,3 +54,25 @@ class Network:
             self._last_arrival[channel] = arrival
         self.messages_carried += 1
         return arrival
+
+    def deliveries(self, message: Message, send_time: int) -> list:
+        """Fault-aware arrivals for one send: ``[(arrival, kind)]`` with
+        kind ``"deliver"`` or ``"dup"``; an empty list means dropped.
+
+        A dropped message still travels the wire (it consumes a jitter
+        draw and advances the FIFO clamp) -- it is lost at the receiver,
+        so the timing of every *other* message is unchanged whether or
+        not the drop happened.
+        """
+        plan = self.plan
+        decision = plan.decide(message, send_time)
+        arrival = self.arrival_time(message, send_time)
+        if decision.drop:
+            return []
+        arrival = plan.hold_until(message.dst, arrival + decision.extra_delay)
+        out = [(arrival, "deliver")]
+        for _ in range(decision.duplicates):
+            dup_arrival = plan.hold_until(
+                message.dst, self.arrival_time(message, send_time))
+            out.append((dup_arrival, "dup"))
+        return out

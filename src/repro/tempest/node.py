@@ -9,6 +9,7 @@ share the node's single processor, serialised by ``busy_until``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.lang.errors import RuntimeProtocolError
@@ -85,9 +86,13 @@ class NodeContext(ProtocolContext):
             data = self._node.store.record(block).data
             self.counters.data_messages_sent += 1
         self.counters.messages_sent += 1
-        message = Message(tag, block, src=self._node.node_id, dst=dst,
-                          payload=payload, data=data)
-        self._node.machine.inject(message, self.now)
+        node = self._node
+        message = Message(tag, block, src=node.node_id, dst=dst,
+                          payload=payload, data=data,
+                          seq=node.machine.next_wire_seq())
+        if node.recovery is not None:
+            node.record_output(message)
+        node.machine.inject(message, self.now)
 
     def access_change(self, block: int, mode: str) -> None:
         tag = ACCESS_CHANGE_RESULT.get(mode)
@@ -190,6 +195,14 @@ class Node:
         self.finished = not program
         self.observed: list[tuple[int, object]] = []  # logged read values
         self.stats = NodeStats(node_id)
+        # Timeout/retry/dedup recovery (None = all of it disabled).
+        self.recovery = machine.config.recovery
+        self.retries_exhausted = False
+        self._fault_epoch = 0                  # distinguishes fault instances
+        self._fault_requests: dict[int, list] = {}   # block -> captured sends
+        # At-least-once dedup: (src, seq) -> outputs of first processing.
+        self._reply_cache: dict[tuple[int, int], list] = {}
+        self._reply_order: deque = deque()
         self.store = BlockStore(
             node_id,
             machine.config.n_blocks,
@@ -204,10 +217,84 @@ class Node:
 
     def handle_message(self, message: Message, arrive_time: int) -> None:
         """Run one delivered message (plus any queue redelivery) atomically."""
+        recovery = self.recovery
+        if (recovery is not None and recovery.dedup
+                and message.seq is not None):
+            key = (message.src, message.seq)
+            cached = self._reply_cache.get(key)
+            if cached is not None:
+                self._absorb_duplicate(cached, arrive_time)
+                return
+            self._remember(key)
         start = max(arrive_time, self.busy_until)
         end = self._protocol_action(message, start)
         self.busy_until = end
         self.stats.protocol_cycles += end - start
+
+    def _remember(self, key: tuple[int, int]) -> None:
+        """Register a first delivery; its outputs accumulate under ``key``
+        (including outputs produced later, when a deferred delivery is
+        finally replayed from the block's queue)."""
+        self._reply_cache[key] = []
+        self._reply_order.append(key)
+        if len(self._reply_order) > self.recovery.dedup_cache:
+            self._reply_cache.pop(self._reply_order.popleft(), None)
+
+    def _absorb_duplicate(self, cached: list, arrive_time: int) -> None:
+        """A delivery already processed once: skip the dispatch and re-send
+        the outputs the first processing produced (same wire seqs, so the
+        replay cascades hop by hop toward whoever lost a message)."""
+        self.stats.counters.dups_absorbed += 1
+        start = max(arrive_time, self.busy_until)
+        now = start + self.machine.config.costs.dispatch
+        for reply in tuple(cached):
+            self.machine.inject(reply, now)
+        self.busy_until = now
+        self.stats.protocol_cycles += now - start
+
+    def record_output(self, message: Message) -> None:
+        """Attribute a sent message to the delivery being handled: app
+        faults capture it for watchdog retry, stamped deliveries cache it
+        for duplicate absorption."""
+        cur = self.ctx.current_message
+        if cur.seq is None:
+            # An access fault or program event (self-dispatched,
+            # unstamped): this send is part of the retryable request set.
+            if cur.src == self.node_id and cur.dst == self.node_id:
+                self._fault_requests.setdefault(
+                    cur.block, []).append(message)
+            return
+        if self.recovery.dedup:
+            cached = self._reply_cache.get((cur.src, cur.seq))
+            if cached is not None:
+                cached.append(message)
+
+    def watchdog_fire(self, block: int, epoch: int, attempt: int,
+                      now: int) -> None:
+        """A retry timer expired.  Stale timers (the fault completed, or a
+        newer fault superseded it) are no-ops."""
+        if (self.finished or self.blocked_on != block
+                or self._fault_epoch != epoch):
+            return
+        recovery = self.recovery
+        self.stats.counters.timeouts += 1
+        obs = self.machine.obs
+        if obs is not None:
+            obs.timeout(self.node_id, block, attempt,
+                        now - self.fault_start, now)
+        if attempt > recovery.max_retries:
+            self.retries_exhausted = True
+            return
+        state_name = self.store.record(block).state_name
+        for message in self._fault_requests.get(block, ()):
+            self.stats.counters.retries += 1
+            if obs is not None:
+                obs.retry(self.node_id, block, message.tag, message.dst,
+                          attempt, now, state=state_name)
+            self.machine.inject(message, now)
+        delay = int(recovery.timeout * (recovery.backoff ** attempt))
+        self.machine._push(now + delay, "watchdog",
+                           (self.node_id, block, epoch, attempt + 1))
 
     def _protocol_action(self, message: Message, start: int) -> int:
         """Dispatch ``message`` then redeliver deferred messages enabled by
@@ -372,6 +459,11 @@ class Node:
         self.blocked_on = block
         self.fault_start = now
         self.fault_block = block
+        recovery = self.recovery
+        if recovery is not None:
+            self._fault_epoch += 1
+            self._fault_requests[block] = []
+            self.retries_exhausted = False
         obs = self.machine.obs
         if obs is not None:
             obs.fault_begin(self.node_id, block, tag, now)
@@ -389,4 +481,7 @@ class Node:
             if obs is not None:
                 obs.fault_end(self.node_id, block, self.fault_start, end,
                               sync=True)
+        elif self.blocked_on is not None and recovery is not None:
+            self.machine._push(end + recovery.timeout, "watchdog",
+                               (self.node_id, block, self._fault_epoch, 1))
         return end

@@ -9,10 +9,13 @@ failure.  Exploration is exhaustive up to ``max_states``.
 
 from __future__ import annotations
 
+import re
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import IO, Optional
+
+from repro.faults import FaultBudget
 
 from repro.runtime.context import Message
 from repro.runtime.exec import HandlerInterpreter
@@ -44,6 +47,12 @@ class FingerprintCollisionError(TraceReplayError):
     """
 
 
+# Fault transitions the checker injects: "drop TAG s->d[i] blk=B" and
+# "dup TAG s->d[i] blk=B" (same shape as delivery labels).
+_FAULT_LABEL = re.compile(
+    r"^(drop|dup) (\S+) (\d+)->(\d+)\[(\d+)\] blk=(\d+)$")
+
+
 @dataclass
 class Violation:
     """A safety violation with its counterexample trace."""
@@ -61,20 +70,63 @@ class Violation:
             lines.append(f"final state: {self.state.summary()}")
         return "\n".join(lines)
 
+    def fault_schedule(self) -> list[dict]:
+        """The fault transitions along the trace, in order: one dict per
+        injected drop/dup with its step number and message signature."""
+        schedule = []
+        for step, label in enumerate(self.trace, 1):
+            match = _FAULT_LABEL.match(label)
+            if match is not None:
+                schedule.append({
+                    "step": step,
+                    "action": match.group(1),
+                    "tag": match.group(2),
+                    "src": int(match.group(3)),
+                    "dst": int(match.group(4)),
+                    "index": int(match.group(5)),
+                    "block": int(match.group(6)),
+                })
+        return schedule
+
+    def to_fault_plan(self):
+        """A scripted :class:`repro.faults.FaultPlan` approximating this
+        counterexample's fault schedule, for ``teapot run --fault-plan``
+        replay: the k-th fault with a given (action, tag, src, dst,
+        block) signature becomes an occurrence-k rule.  (The simulator's
+        timing differs from the checker's interleaving, so the plan
+        pins *which* message is hit, not the exact step.)"""
+        from repro.faults import FaultPlan, FaultRule
+
+        seen: dict[tuple, int] = {}
+        rules = []
+        for entry in self.fault_schedule():
+            signature = (entry["action"], entry["tag"], entry["src"],
+                         entry["dst"], entry["block"])
+            seen[signature] = seen.get(signature, 0) + 1
+            rules.append(FaultRule(
+                action=entry["action"], tag=entry["tag"],
+                src=entry["src"], dst=entry["dst"], block=entry["block"],
+                occurrence=seen[signature]))
+        return FaultPlan(rules=rules)
+
     def to_events(self) -> list[dict]:
         """The counterexample as structured trace events (the same JSONL
         schema simulator traces use -- see :mod:`repro.obs.sinks`)."""
-        from repro.obs.sinks import SCHEMA_VERSION
+        from repro.obs.sinks import V_CORE, V_FAULTS
 
         events: list[dict] = [
-            {"ev": "checker_step", "v": SCHEMA_VERSION,
+            {"ev": "checker_step", "v": V_CORE,
              "step": step, "label": label}
             for step, label in enumerate(self.trace, 1)
         ]
-        tail = {"ev": "violation", "v": SCHEMA_VERSION, "kind": self.kind,
-                "message": self.message}
+        schedule = self.fault_schedule()
+        tail = {"ev": "violation",
+                "v": V_FAULTS if schedule else V_CORE,
+                "kind": self.kind, "message": self.message}
         if self.state is not None:
             tail["state"] = self.state.summary()
+        if schedule:
+            tail["faults"] = schedule
         events.append(tail)
         return events
 
@@ -116,18 +168,25 @@ class CheckResult:
     exhausted: bool = True
     # How many worker processes explored (1 = the serial checker).
     workers: int = 1
+    # The fault budget (drops, dups) the exploration was allowed to
+    # spend on each path; (0, 0) is classic fault-free checking.
+    fault_budget: tuple = (0, 0)
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         if self.hit_state_limit:
             status += " (state limit reached)"
         workers = f", workers={self.workers}" if self.workers > 1 else ""
+        faults = ""
+        if self.fault_budget != (0, 0):
+            faults = (f", faults=drop:{self.fault_budget[0]}"
+                      f"+dup:{self.fault_budget[1]}")
         return (
             f"{self.protocol_name}: {status}  states={self.states_explored} "
             f"transitions={self.transitions} depth={self.max_depth} "
             f"time={self.elapsed_seconds:.2f}s "
             f"(nodes={self.n_nodes}, addrs={self.n_blocks}, "
-            f"reorder={self.reorder_bound}{workers})"
+            f"reorder={self.reorder_bound}{workers}{faults})"
         )
 
 
@@ -156,6 +215,7 @@ class ModelChecker:
         progress_every: int = 10_000,
         fingerprint_states: bool = False,
         fingerprint_fn=None,
+        fault_budget=None,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -199,6 +259,16 @@ class ModelChecker:
             raise ValueError(
                 "fingerprint_states and check_progress are mutually "
                 "exclusive: the liveness check records full states")
+        # Fault-bounded exploration: in addition to every delivery, the
+        # checker may *drop* or *duplicate* any in-flight message, up to
+        # the budget.  Accepts a FaultBudget or a (drops, dups) tuple;
+        # None / (0, 0) disables fault transitions entirely.
+        if fault_budget is None:
+            self.fault_budget = (0, 0)
+        elif isinstance(fault_budget, FaultBudget):
+            self.fault_budget = fault_budget.as_tuple()
+        else:
+            self.fault_budget = tuple(fault_budget)
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
 
@@ -308,6 +378,44 @@ class ModelChecker:
                     except CheckerViolation as violation:
                         raise _LabelledViolation(label, violation.message)
                     yield label, successor
+        # Fault transitions: lose or duplicate any in-flight message,
+        # while budget remains.  Pure channel edits -- no handler runs --
+        # so they cannot raise.  Note these never fire on an empty
+        # network, so fault budgets cannot mask a real deadlock (a state
+        # with all nodes blocked and no messages in flight still has no
+        # successor).
+        drops, dups = state.faults
+        if drops or dups:
+            for src in range(self.n_nodes):
+                for dst in range(self.n_nodes):
+                    channel = state.channel(src, dst)
+                    for index, msg in enumerate(channel):
+                        where = f"{msg.tag} {src}->{dst}[{index}] blk={msg.block}"
+                        if drops:
+                            yield (f"drop {where}", replace(
+                                state,
+                                channels=self._edit_channel(
+                                    state, src, dst,
+                                    channel[:index] + channel[index + 1:]),
+                                faults=(drops - 1, dups)))
+                        if dups:
+                            yield (f"dup {where}", replace(
+                                state,
+                                channels=self._edit_channel(
+                                    state, src, dst, channel + (msg,)),
+                                faults=(drops, dups - 1)))
+
+    @staticmethod
+    def _edit_channel(state: GlobalState, src: int, dst: int,
+                      new_channel: tuple) -> tuple:
+        """The state's channels tuple with one channel replaced."""
+        return tuple(
+            tuple(
+                new_channel if (i, j) == (src, dst) else channel
+                for j, channel in enumerate(row)
+            )
+            for i, row in enumerate(state.channels)
+        )
 
     # -- search -------------------------------------------------------------
 
@@ -322,7 +430,7 @@ class ModelChecker:
         ]
         initial = initial_global_state(
             self.protocol, self.n_nodes, self.n_blocks, self.home_of,
-            self.events.initial)
+            self.events.initial, faults=self.fault_budget)
 
         # The visited set and parent pointers are keyed either by the
         # state itself or, in fingerprint mode, by its 64-bit digest.
@@ -362,6 +470,7 @@ class ModelChecker:
                 invariant_evals=dict(self._invariant_evals),
                 handler_fires=dict(self._handler_fires),
                 exhausted=not hit_limit,
+                fault_budget=self.fault_budget,
             )
 
         def trace_to(key, last_label: str) -> list[str]:
@@ -441,7 +550,8 @@ class ModelChecker:
             reorder_bound=self.reorder_bound, events=self.events,
             invariants=self.invariants, max_states=self.max_states,
             channel_cap=self.channel_cap,
-            interpreter_factory=self.interpreter_factory)
+            interpreter_factory=self.interpreter_factory,
+            fault_budget=self.fault_budget)
 
     def verify_violation(self, violation: Violation) -> GlobalState:
         """Replay-validate a counterexample built from fingerprints.
@@ -575,7 +685,8 @@ def replay_labels(checker: ModelChecker, labels: list) -> GlobalState:
         (checker._invariant_name(inv), inv) for inv in checker.invariants]
     state = initial_global_state(
         checker.protocol, checker.n_nodes, checker.n_blocks,
-        checker.home_of, checker.events.initial)
+        checker.home_of, checker.events.initial,
+        faults=checker.fault_budget)
     for step, label in enumerate(labels, 1):
         if label in ("<initial>", "<stuck>", "<thread lost>"):
             continue

@@ -101,6 +101,14 @@ def encode_state(state: GlobalState) -> bytes:
         for channel in row:
             out += b"C"
             _encode_value(channel, out)
+    # Remaining fault budget distinguishes otherwise-identical states
+    # (a state reached after spending a drop must not merge with the
+    # same configuration reached fault-free).  Encoded only when
+    # nonzero so fault-free fingerprints -- and every checkpoint written
+    # before fault budgets existed -- are byte-identical.
+    if state.faults != (0, 0):
+        out += b"F"
+        _encode_value(tuple(state.faults), out)
     return bytes(out)
 
 
@@ -178,6 +186,10 @@ def state_to_jsonable(state: GlobalState) -> dict:
             [_to_jsonable(channel) for channel in row]
             for row in state.channels
         ],
+        # Fault budget is written only when nonzero: fault-free
+        # checkpoints keep the pre-fault schema exactly.
+        **({"faults": list(state.faults)}
+           if state.faults != (0, 0) else {}),
     }
 
 
@@ -206,4 +218,5 @@ def state_from_jsonable(payload: dict) -> GlobalState:
             tuple(_from_jsonable(channel) for channel in row)
             for row in payload["channels"]
         ),
+        faults=tuple(payload.get("faults", (0, 0))),
     )

@@ -47,6 +47,10 @@ class GlobalState:
     blocks: tuple        # blocks[node][block] -> BlockView
     apps: tuple          # apps[node] -> AppView
     channels: tuple      # channels[src][dst] -> tuple[Message, ...]
+    # Remaining fault budget (drops, dups) the exploration may still
+    # spend on this path; (0, 0) -- the default -- is fault-free
+    # checking and keeps fingerprints/checkpoints byte-compatible.
+    faults: tuple = (0, 0)
 
     def channel(self, src: int, dst: int) -> tuple:
         return self.channels[src][dst]
@@ -77,6 +81,8 @@ class GlobalState:
             text += "  blocked: " + ",".join(blocked)
         if inflight:
             text += f"  in-flight: {inflight}"
+        if self.faults != (0, 0):
+            text += f"  fault-budget: drop={self.faults[0]} dup={self.faults[1]}"
         return text
 
 
@@ -107,6 +113,7 @@ class MutableState:
         self.channels = [
             [list(channel) for channel in row] for row in state.channels
         ]
+        self.faults = state.faults
 
     def freeze(self) -> GlobalState:
         return GlobalState(
@@ -131,6 +138,7 @@ class MutableState:
                 tuple(tuple(channel) for channel in row)
                 for row in self.channels
             ),
+            faults=self.faults,
         )
 
     def record(self, node: int, block: int) -> dict:
@@ -260,7 +268,8 @@ class CheckerContext(ProtocolContext):
 
 
 def initial_global_state(protocol: CompiledProtocol, n_nodes: int,
-                         n_blocks: int, home_of, gen_initial) -> GlobalState:
+                         n_blocks: int, home_of, gen_initial,
+                         faults: tuple = (0, 0)) -> GlobalState:
     """Build the starting state: home blocks idle/RW, caches invalid."""
     blocks = []
     for node in range(n_nodes):
@@ -287,7 +296,8 @@ def initial_global_state(protocol: CompiledProtocol, n_nodes: int,
     channels = tuple(
         tuple(() for _dst in range(n_nodes)) for _src in range(n_nodes)
     )
-    return GlobalState(blocks=tuple(blocks), apps=apps, channels=channels)
+    return GlobalState(blocks=tuple(blocks), apps=apps, channels=channels,
+                       faults=faults)
 
 
 def fault_for_access(access_value: str, is_write: bool) -> Optional[str]:

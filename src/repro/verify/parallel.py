@@ -242,6 +242,7 @@ class ParallelChecker:
         checkpoint_out: Optional[str] = None,
         resume: Optional[str] = None,
         fingerprint_fn=None,
+        fault_budget=None,
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -261,13 +262,14 @@ class ParallelChecker:
             invariants=invariants, max_states=max_states,
             channel_cap=channel_cap,
             interpreter_factory=interpreter_factory,
-            fingerprint_states=True, fingerprint_fn=fingerprint_fn)
+            fingerprint_states=True, fingerprint_fn=fingerprint_fn,
+            fault_budget=fault_budget)
 
     # -- checkpoint plumbing ------------------------------------------------
 
     def _config_echo(self) -> dict:
         t = self._template
-        return {
+        echo = {
             "protocol": t.protocol.name,
             "n_nodes": t.n_nodes,
             "n_blocks": t.n_blocks,
@@ -275,6 +277,12 @@ class ParallelChecker:
             "channel_cap": t.channel_cap,
             "events": type(t.events).__name__,
         }
+        # Included only when nonzero so fault-free checkpoints written
+        # before fault budgets existed still validate against the same
+        # configuration today.
+        if t.fault_budget != (0, 0):
+            echo["faults"] = list(t.fault_budget)
+        return echo
 
     def _validate_resume(self, payload: dict) -> None:
         echo = self._config_echo()
@@ -395,7 +403,8 @@ class ParallelChecker:
         else:
             initial = initial_global_state(
                 template.protocol, template.n_nodes, template.n_blocks,
-                template.home_of, template.events.initial)
+                template.home_of, template.events.initial,
+                faults=template.fault_budget)
             fp0 = template.fingerprint_fn(initial)
             pending[fp0 % n].append((fp0, initial, None, "<initial>", 0))
 
@@ -558,6 +567,7 @@ class ParallelChecker:
                 handler_fires=handler_fires,
                 exhausted=not hit_limit,
                 workers=n,
+                fault_budget=template.fault_budget,
             )
         finally:
             for proc in procs:

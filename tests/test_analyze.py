@@ -166,7 +166,10 @@ class TestTraceLoading:
 def assert_edges_respect_clocks(trace):
     clocks = vector_clocks(trace)
     edges = causal_edges(trace)
-    assert edges, "expected at least one causal edge"
+    # A random program may produce no cross-node traffic at all; only
+    # demand edges when the trace actually carried messages.
+    if trace.indices("send"):
+        assert edges, "expected at least one causal edge"
     for src, dst, _kind in edges:
         assert happens_before(clocks[src], clocks[dst]), (
             f"edge #{src} -> #{dst} violates the vector-clock order")

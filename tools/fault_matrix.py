@@ -1,0 +1,114 @@
+"""Fault matrix: every registered protocol x a set of fault budgets.
+
+Model-checks each protocol fault-free and under each budget (message
+drop, duplication, both) at the paper's minimal configuration, and
+reports the verdict per cell: OK, or the violation kind the checker
+witnessed (deadlock / error / invariant).  Unmodified protocols are
+*expected* to fail under faults -- they were written for a reliable
+network; the matrix documents exactly how each one dies, which is what
+the simulator's recovery layer (docs/ROBUSTNESS.md) is calibrated
+against.  The fault-free column doubles as a sanity check: a protocol
+failing there is a real regression.
+
+Used by the non-gating ``fault-matrix`` CI job.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_matrix.py [-o FAULT_MATRIX.json]
+        [--max-states N] [--protocols a,b,c]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.api import CheckOptions, check  # noqa: E402
+from repro.faults import FaultBudget  # noqa: E402
+from repro.protocols import PROTOCOLS  # noqa: E402
+
+BUDGETS = {
+    "reliable": None,
+    "drop=1": FaultBudget(drop=1),
+    "dup=1": FaultBudget(dup=1),
+    "drop=1,dup=1": FaultBudget(drop=1, dup=1),
+}
+
+
+def run_cell(name: str, budget, max_states: int) -> dict:
+    options = CheckOptions(nodes=2, addresses=1, faults=budget,
+                           max_states=max_states)
+    started = time.perf_counter()
+    result = check(name, options)
+    cell = {
+        "verdict": "OK" if result.ok else result.violation.kind,
+        "states": result.states_explored,
+        "seconds": round(time.perf_counter() - started, 3),
+    }
+    if not result.exhausted:
+        cell["truncated"] = True
+    if result.violation is not None:
+        cell["message"] = result.violation.message
+        cell["trace_len"] = len(result.violation.trace)
+    return cell
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="FAULT_MATRIX.json")
+    parser.add_argument("--max-states", type=int, default=200_000)
+    parser.add_argument("--protocols", default=None,
+                        help="comma-separated subset (default: all)")
+    args = parser.parse_args()
+
+    names = (args.protocols.split(",") if args.protocols
+             else sorted(PROTOCOLS))
+    unknown = [name for name in names if name not in PROTOCOLS]
+    if unknown:
+        raise SystemExit(f"unknown protocols: {', '.join(unknown)}")
+
+    matrix = {}
+    width = max(len(name) for name in names)
+    header = f"{'protocol':{width}s}  " + "  ".join(
+        f"{label:>14s}" for label in BUDGETS)
+    print(header)
+    for name in names:
+        row = {}
+        for label, budget in BUDGETS.items():
+            row[label] = run_cell(name, budget, args.max_states)
+        matrix[name] = row
+        print(f"{name:{width}s}  " + "  ".join(
+            f"{row[label]['verdict']:>14s}" for label in BUDGETS))
+
+    reliable_failures = [name for name, row in matrix.items()
+                         if row["reliable"]["verdict"] != "OK"]
+    report = {
+        "benchmark": "fault matrix, 2 nodes x 1 address, checker",
+        "max_states": args.max_states,
+        "python": platform.python_version(),
+        "budgets": list(BUDGETS),
+        "matrix": matrix,
+        "reliable_failures": reliable_failures,
+        "note": "fault-cell failures are expected (protocols assume a "
+                "reliable network); reliable-column failures are "
+                "regressions",
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    if reliable_failures:
+        print(f"REGRESSION: fault-free failures in "
+              f"{', '.join(reliable_failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
