@@ -134,6 +134,12 @@ class CheckOptions:
     # interrupt / continue from one.
     checkpoint_out: Optional[str] = None
     resume: Optional[str] = None
+    # Exploration profiling (repro.obs.profile): True arms a profiler
+    # and attaches the CheckProfile to CheckResult.profile; False is
+    # observably free (the checkers run their unprofiled code paths).
+    profile: bool = False
+    # Extra timeline samples every this many states inside large layers.
+    profile_sample_every: int = 2000
     events: Optional[EventGenerator] = None
     # Fault-bounded exploration: in every state the checker may also
     # drop or duplicate any in-flight message, up to this per-path
@@ -247,6 +253,11 @@ def check(target: Target,
     progress_stream = options.progress_stream
     if progress_stream is None and options.progress:
         progress_stream = sys.stderr
+    profiler = None
+    if options.profile:
+        from repro.obs.profile import CheckProfiler
+
+        profiler = CheckProfiler(sample_every=options.profile_sample_every)
 
     if options.workers < 0:
         raise ValueError("CheckOptions.workers must be >= 0")
@@ -269,6 +280,7 @@ def check(target: Target,
             progress_every=options.progress_every,
             fingerprint_states=options.fingerprints,
             fault_budget=options.faults,
+            profiler=profiler,
         ).run()
 
     if options.liveness:
@@ -290,6 +302,7 @@ def check(target: Target,
         checkpoint_out=options.checkpoint_out,
         resume=options.resume,
         fault_budget=options.faults,
+        profiler=profiler,
     ).run()
 
 

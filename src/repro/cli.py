@@ -15,7 +15,8 @@ Subcommands::
     teapot analyze causal <trace>        causal chain ending at an event
     teapot analyze critical-path <trace> per-fault wait decomposition
     teapot analyze coverage ...          handler coverage (trace/verify)
-    teapot analyze diff <a> <b>          compare traces/coverage reports
+    teapot analyze check-profile <p>     render a verify --profile-out file
+    teapot analyze diff <a> <b>          compare traces/coverage/profiles
     teapot graph <name|file.tea>         state graph (text or dot)
     teapot list                          registered protocols
 """
@@ -157,6 +158,7 @@ def cmd_verify(args) -> int:
         checkpoint_out=args.checkpoint_out,
         resume=args.resume,
         faults=_parse_fault_budget(args.faults),
+        profile=bool(args.profile_out),
     )
     try:
         result = api.check(protocol, options)
@@ -184,6 +186,11 @@ def cmd_verify(args) -> int:
         coverage.save(args.coverage_out)
         print(f"wrote coverage report to {args.coverage_out}",
               file=sys.stderr)
+    if args.profile_out and result.profile is not None:
+        result.profile.save(args.profile_out)
+        print(f"wrote check profile to {args.profile_out} "
+              f"(render with `teapot analyze check-profile "
+              f"{args.profile_out}`)", file=sys.stderr)
     if args.progress and result.invariant_evals:
         evals = "  ".join(f"{name}={count}" for name, count
                           in result.invariant_evals.items())
@@ -392,6 +399,14 @@ def cmd_analyze_coverage(args) -> int:
     return 0
 
 
+def cmd_analyze_check_profile(args) -> int:
+    from repro.obs.profile import format_profile, load_profile
+
+    print(format_profile(load_profile(args.profile), top=args.top),
+          end="")
+    return 0
+
+
 def cmd_analyze_diff(args) -> int:
     from repro.obs.analyze import (
         TraceError,
@@ -400,6 +415,7 @@ def cmd_analyze_diff(args) -> int:
         load_coverage,
         load_trace,
     )
+    from repro.obs.profile import diff_profiles, load_profile
 
     def sniff(path: str) -> str:
         try:
@@ -411,6 +427,8 @@ def cmd_analyze_diff(args) -> int:
             raise TraceError(f"{path}: {error.strerror}") from None
         if '"kind"' in head and '"teapot-coverage"' in head:
             return "coverage"
+        if '"kind"' in head and '"teapot-check-profile"' in head:
+            return "check-profile"
         return "trace"
 
     kind_a, kind_b = sniff(args.a), sniff(args.b)
@@ -421,6 +439,9 @@ def cmd_analyze_diff(args) -> int:
     if kind_a == "coverage":
         print(diff_coverage(load_coverage(args.a),
                             load_coverage(args.b)), end="")
+    elif kind_a == "check-profile":
+        print(diff_profiles(load_profile(args.a),
+                            load_profile(args.b)), end="")
     else:
         print(diff_traces(load_trace(args.a), load_trace(args.b)),
               end="")
@@ -527,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coverage-out", metavar="PATH",
                    help="write the handler-coverage report as JSON "
                         "(compare runs with `teapot analyze diff`)")
+    p.add_argument("--profile-out", metavar="PATH",
+                   help="profile the exploration hot loop and write the "
+                        "check-profile JSON (render with `teapot analyze "
+                        "check-profile`, compare with `teapot analyze "
+                        "diff`); off = zero overhead")
     _add_opt_flags(p)
     p.set_defaults(fn=cmd_verify)
 
@@ -639,7 +665,17 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(fn=cmd_analyze_coverage)
 
     q = analyses.add_parser(
-        "diff", help="compare two traces, or two coverage reports")
+        "check-profile", help="render a `verify --profile-out` export: "
+                              "phase attribution, top dispatch costs, "
+                              "timeline, parallel imbalance")
+    q.add_argument("profile", help="JSON file from verify --profile-out")
+    q.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the dispatch-cost table (default 10)")
+    q.set_defaults(fn=cmd_analyze_check_profile)
+
+    q = analyses.add_parser(
+        "diff", help="compare two traces, coverage reports, or check "
+                     "profiles")
     q.add_argument("a")
     q.add_argument("b")
     q.set_defaults(fn=cmd_analyze_diff)

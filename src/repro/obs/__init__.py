@@ -16,7 +16,11 @@ a first-class, zero-dependency subsystem:
   simulator, runtime, and checker call into;
 - :mod:`repro.obs.analyze` -- the trace-analysis engine behind
   ``teapot analyze``: happens-before vector clocks, causal chains,
-  critical-path fault attribution, handler coverage, and trace diffs.
+  critical-path fault attribution, handler coverage, and trace diffs;
+- :mod:`repro.obs.profile` -- the checker-side exploration profiler
+  (``verify --profile-out`` / ``analyze check-profile``): per-phase
+  hot-loop attribution, dispatch cost tables, states/s timelines, and
+  parallel wave accounting.
 
 Nothing here is imported on the hot path unless tracing is enabled: the
 simulator and interpreter guard every emit site with a single
@@ -26,6 +30,13 @@ identical to a build without this package.
 
 from repro.obs.metrics import MetricsRegistry, format_metrics
 from repro.obs.observer import Observer
+from repro.obs.profile import (
+    CheckProfile,
+    CheckProfiler,
+    diff_profiles,
+    format_profile,
+    load_profile,
+)
 from repro.obs.sinks import (
     MIN_SCHEMA_VERSION,
     SCHEMA_VERSION,
@@ -37,6 +48,8 @@ from repro.obs.sinks import (
 )
 
 __all__ = [
+    "CheckProfile",
+    "CheckProfiler",
     "ChromeTraceSink",
     "JsonlSink",
     "MetricsRegistry",
@@ -45,6 +58,9 @@ __all__ = [
     "Observer",
     "SCHEMA_VERSION",
     "TraceSink",
+    "diff_profiles",
     "format_metrics",
+    "format_profile",
+    "load_profile",
     "open_sink",
 ]

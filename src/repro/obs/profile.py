@@ -1,0 +1,554 @@
+"""Checker-side profiling: where the exploration hot loop spends time.
+
+The ROADMAP's biggest open item is making exploration 10-50x faster,
+but an aggregate states/s number cannot say *what* to optimise.  This
+module is the measurement layer every checker-performance change is
+judged against, the same way :mod:`repro.obs` is for the simulator:
+
+- :class:`CheckProfiler` -- the armed recorder the checkers thread
+  through their hot loops.  It accumulates (a) a states/s + frontier
+  timeline sampled per BFS depth (serial) or per wave (parallel),
+  (b) per-phase wall-time attribution -- successor generation,
+  invariant evaluation, fingerprint/encode, visited-set bookkeeping,
+  checkpoint I/O -- (c) per-(state, message) dispatch cost and
+  successor out-degree histograms, (d) parallel wave accounting
+  (per-worker busy/barrier-wait, cross-shard traffic, queue imbalance),
+  and (e) visited-set memory estimates.
+- :class:`CheckProfile` -- the schema-versioned JSON artifact
+  (``teapot verify --profile-out``), rendered by ``teapot analyze
+  check-profile`` and diffable with ``teapot analyze diff``.
+
+The profiler is strictly an observer.  When it is absent (the default,
+``profiler=None``) the checkers run the exact code they always ran:
+verdict, state count, transitions, depth, ``handler_fires``, every
+fingerprint, and checkpoint content are byte-identical --
+``tests/test_profile.py`` pins this with golden and property tests.
+When armed it only reads clocks and counts; the exploration order and
+all results are still identical, only host wall time changes
+(``tools/bench_check_profile.py`` records the overhead).
+
+Phase semantics differ by engine, on purpose:
+
+- **serial** -- the phase times partition ``run()`` wall time; the
+  unattributed remainder is reported as ``other``.
+- **parallel** -- the compute phases are summed *across workers* (they
+  partition total worker-busy time, not wall time), and the wall-clock
+  story lives in the ``parallel`` section: per-worker busy and
+  barrier-wait sum to the total wave time, and master routing +
+  checkpoint I/O account for the rest of the wall.
+
+Dispatch cost is a sub-attribution of the ``successors`` phase (every
+handler runs while a successor is being generated), so the dispatch
+table and the phase table answer different questions and do not sum
+together.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Optional
+
+from repro.obs.analyze.trace import TraceError
+from repro.verify.fingerprint import FINGERPRINT_BITS, expected_collisions
+
+PROFILE_KIND = "teapot-check-profile"
+PROFILE_VERSION = 1
+
+# The hot-loop phases every profile reports (missing ones render as 0).
+PHASES = ("successors", "invariants", "fingerprint", "visited",
+          "checkpoint_io", "other")
+
+_perf = time.perf_counter
+
+
+class CheckProfiler:
+    """Armed recorder for one exploration run.
+
+    The checkers call the ``add_*``/``sample`` methods only when a
+    profiler was passed; a fresh instance should be used per run (the
+    counters are cumulative).
+    """
+
+    def __init__(self, sample_every: int = 2000):
+        # A timeline sample is recorded whenever the BFS depth grows
+        # (one per layer/wave) and additionally every ``sample_every``
+        # newly visited states inside large layers.
+        self.sample_every = max(1, sample_every)
+        self.phases: dict[str, float] = {}
+        self.dispatch: dict[str, list] = {}   # arm -> [count, seconds]
+        self.out_degree: dict[int, int] = {}  # successors -> state count
+        self.timeline: list[dict] = []
+        self.visited_stats: dict = {}
+        # Parallel-only accounting, populated by the master loop.
+        self.waves: list[dict] = []
+        self.cross_shard_entries = 0
+        self.cross_shard_bytes = 0
+        self.worker_totals: dict[int, dict] = {}
+        self._t0: Optional[float] = None
+
+    # -- recording (checker-facing) -----------------------------------------
+
+    def begin(self) -> None:
+        self._t0 = _perf()
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def add_dispatch(self, key: Optional[str], seconds: float) -> None:
+        if key is None:
+            return
+        entry = self.dispatch.get(key)
+        if entry is None:
+            self.dispatch[key] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    def add_out_degree(self, degree: int) -> None:
+        self.out_degree[degree] = self.out_degree.get(degree, 0) + 1
+
+    def timed_successors(self, generator):
+        """Wrap a ``_successors`` generator so the time spent *inside*
+        it (handler dispatch included) lands in the ``successors``
+        phase while the caller's per-successor bookkeeping does not."""
+        add = self.add_phase
+        while True:
+            t0 = _perf()
+            try:
+                item = next(generator)
+            except StopIteration:
+                add("successors", _perf() - t0)
+                return
+            add("successors", _perf() - t0)
+            yield item
+
+    def sample(self, states: int, frontier: int, depth: int,
+               transitions: int) -> None:
+        t = (_perf() - self._t0) if self._t0 is not None else 0.0
+        self.timeline.append({
+            "t": round(t, 6),
+            "states": states,
+            "frontier": frontier,
+            "depth": depth,
+            "transitions": transitions,
+            "states_per_s": round(states / t, 1) if t > 0 else 0.0,
+        })
+
+    def set_visited(self, entries: int, mode: str,
+                    container_bytes: int = 0) -> None:
+        """Visited-set memory accounting (collision stats for
+        fingerprint tables are finalized in :meth:`build`)."""
+        self.visited_stats = {"entries": entries, "mode": mode,
+                              "container_bytes": container_bytes}
+
+    # -- recording (parallel master-facing) ---------------------------------
+
+    def record_wave(self, wave: int, wall_seconds: float,
+                    workers: list[dict]) -> None:
+        """One completed wave: master round-trip wall time plus each
+        worker's self-reported busy time and accepted-state count."""
+        self.waves.append({
+            "wave": wave,
+            "wall_seconds": round(wall_seconds, 6),
+            "workers": workers,
+        })
+        for entry in workers:
+            totals = self.worker_totals.setdefault(
+                entry["id"], {"busy_seconds": 0.0,
+                              "barrier_wait_seconds": 0.0,
+                              "accepted": 0})
+            totals["busy_seconds"] += entry["busy_seconds"]
+            totals["barrier_wait_seconds"] += max(
+                0.0, wall_seconds - entry["busy_seconds"])
+            totals["accepted"] += entry["accepted"]
+
+    def add_cross_shard(self, entries: int, payload_bytes: int) -> None:
+        self.cross_shard_entries += entries
+        self.cross_shard_bytes += payload_bytes
+
+    def merge_worker(self, payload: Optional[dict]) -> None:
+        """Fold one worker's phase/dispatch/out-degree accumulations
+        (shipped in its ``finish`` reply) into this master profiler."""
+        if not payload:
+            return
+        for name, seconds in payload["phases"].items():
+            self.add_phase(name, seconds)
+        for key, (count, seconds) in payload["dispatch"].items():
+            entry = self.dispatch.setdefault(key, [0, 0.0])
+            entry[0] += count
+            entry[1] += seconds
+        for degree, count in payload["out_degree"].items():
+            degree = int(degree)
+            self.out_degree[degree] = self.out_degree.get(degree, 0) + count
+        stats = self.visited_stats or {"entries": 0, "mode": "fingerprint",
+                                       "container_bytes": 0}
+        stats["entries"] = stats.get("entries", 0) + payload["visited_entries"]
+        stats["container_bytes"] = (stats.get("container_bytes", 0)
+                                    + payload["visited_bytes"])
+        self.visited_stats = stats
+
+    def worker_payload(self) -> dict:
+        """This (worker-side) profiler's accumulations, for the finish
+        reply back to the master."""
+        return {
+            "phases": dict(self.phases),
+            "dispatch": {key: list(entry)
+                         for key, entry in self.dispatch.items()},
+            "out_degree": {str(k): v for k, v in self.out_degree.items()},
+            "visited_entries": self.visited_stats.get("entries", 0),
+            "visited_bytes": self.visited_stats.get("container_bytes", 0),
+        }
+
+    # -- building the artifact ----------------------------------------------
+
+    def build(self, result) -> "CheckProfile":
+        """Finalize into a :class:`CheckProfile` for a finished
+        :class:`~repro.verify.checker.CheckResult`."""
+        wall = result.elapsed_seconds
+        phases = {name: round(self.phases.get(name, 0.0), 6)
+                  for name in PHASES if name != "other"}
+        parallel = None
+        if result.workers > 1 or self.waves:
+            wave_total = sum(w["wall_seconds"] for w in self.waves)
+            checkpoint_io = phases.get("checkpoint_io", 0.0)
+            busy_total = sum(t["busy_seconds"]
+                             for t in self.worker_totals.values())
+            accepted = [t["accepted"] for t in self.worker_totals.values()]
+            mean_accepted = (sum(accepted) / len(accepted)
+                             if accepted else 0.0)
+            parallel = {
+                "waves": len(self.waves),
+                "wave_seconds_total": round(wave_total, 6),
+                "master_routing_seconds": round(
+                    max(0.0, wall - wave_total - checkpoint_io), 6),
+                "workers": [
+                    {"id": wid,
+                     "busy_seconds": round(t["busy_seconds"], 6),
+                     "barrier_wait_seconds": round(
+                         t["barrier_wait_seconds"], 6),
+                     "accepted": t["accepted"]}
+                    for wid, t in sorted(self.worker_totals.items())
+                ],
+                "busy_seconds_total": round(busy_total, 6),
+                "cross_shard": {"entries": self.cross_shard_entries,
+                                "bytes": self.cross_shard_bytes},
+                "imbalance_max_over_mean_accepted": round(
+                    max(accepted) / mean_accepted, 3)
+                if mean_accepted else 1.0,
+                "per_wave": self.waves,
+            }
+            # Compute phases are worker-CPU sums; close the partition
+            # against total busy time, not wall (see module docstring).
+            attributed = sum(v for k, v in phases.items()
+                             if k != "checkpoint_io")
+            phases["other"] = round(max(0.0, busy_total - attributed), 6)
+        else:
+            phases["other"] = round(
+                max(0.0, wall - sum(phases.values())), 6)
+        visited = dict(self.visited_stats)
+        if visited.get("mode") == "fingerprint":
+            visited["fingerprint_bits"] = FINGERPRINT_BITS
+            visited["expected_collisions"] = expected_collisions(
+                visited.get("entries", 0))
+        return CheckProfile(
+            protocol=result.protocol_name,
+            nodes=result.n_nodes,
+            addresses=result.n_blocks,
+            reorder=result.reorder_bound,
+            workers=result.workers,
+            wall_seconds=round(wall, 6),
+            result={
+                "ok": result.ok,
+                "states": result.states_explored,
+                "transitions": result.transitions,
+                "max_depth": result.max_depth,
+                "states_per_second": round(
+                    result.states_explored / wall, 1) if wall > 0 else 0.0,
+            },
+            phases=phases,
+            timeline=list(self.timeline),
+            dispatch={key: {"count": entry[0],
+                            "seconds": round(entry[1], 6)}
+                      for key, entry in self.dispatch.items()},
+            out_degree={str(k): v
+                        for k, v in sorted(self.out_degree.items())},
+            visited=visited,
+            parallel=parallel,
+        )
+
+
+class CheckProfile:
+    """The schema-versioned JSON profile artifact."""
+
+    def __init__(self, protocol: str, nodes: int, addresses: int,
+                 reorder: int, workers: int, wall_seconds: float,
+                 result: dict, phases: dict, timeline: list,
+                 dispatch: dict, out_degree: dict, visited: dict,
+                 parallel: Optional[dict] = None):
+        self.protocol = protocol
+        self.nodes = nodes
+        self.addresses = addresses
+        self.reorder = reorder
+        self.workers = workers
+        self.wall_seconds = wall_seconds
+        self.result = result
+        self.phases = phases
+        self.timeline = timeline
+        self.dispatch = dispatch
+        self.out_degree = out_degree
+        self.visited = visited
+        self.parallel = parallel
+
+    def to_json(self) -> dict:
+        payload = {
+            "kind": PROFILE_KIND,
+            "version": PROFILE_VERSION,
+            "protocol": self.protocol,
+            "nodes": self.nodes,
+            "addresses": self.addresses,
+            "reorder": self.reorder,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "result": self.result,
+            "phases": self.phases,
+            "timeline": self.timeline,
+            "dispatch": self.dispatch,
+            "out_degree": self.out_degree,
+            "visited": self.visited,
+        }
+        if self.parallel is not None:
+            payload["parallel"] = self.parallel
+        return payload
+
+    def save(self, path: str) -> None:
+        # Insertion order, not sort_keys: the kind/version header must
+        # stay in the first bytes so `analyze diff` can sniff the file.
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, payload: dict, path: str = "<profile>"
+                  ) -> "CheckProfile":
+        if payload.get("kind") != PROFILE_KIND:
+            raise TraceError(
+                f"{path}: not a check profile (kind="
+                f"{payload.get('kind')!r}); expected a `verify "
+                f"--profile-out` export")
+        if payload.get("version") != PROFILE_VERSION:
+            raise TraceError(
+                f"{path}: check profile version "
+                f"{payload.get('version')!r}, expected {PROFILE_VERSION} "
+                "-- regenerate with this build's `verify --profile-out`")
+        return cls(
+            protocol=payload.get("protocol", "?"),
+            nodes=payload.get("nodes", 0),
+            addresses=payload.get("addresses", 0),
+            reorder=payload.get("reorder", 0),
+            workers=payload.get("workers", 0),
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            result=dict(payload.get("result", {})),
+            phases=dict(payload.get("phases", {})),
+            timeline=list(payload.get("timeline", [])),
+            dispatch=dict(payload.get("dispatch", {})),
+            out_degree=dict(payload.get("out_degree", {})),
+            visited=dict(payload.get("visited", {})),
+            parallel=payload.get("parallel"),
+        )
+
+
+def load_profile(path: str) -> CheckProfile:
+    """Read a saved check profile, with friendly one-line errors."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        raise TraceError(f"{path}: no such file") from None
+    except OSError as error:
+        raise TraceError(f"{path}: {error.strerror}") from None
+    if not text.strip():
+        raise TraceError(f"{path}: empty file")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise TraceError(f"{path}: not valid JSON ({error.msg})") from None
+    if not isinstance(payload, dict):
+        raise TraceError(f"{path}: not a check profile (not an object)")
+    return CheckProfile.from_json(payload, path)
+
+
+# -- rendering ------------------------------------------------------------------
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    return "#" * max(0, round(fraction * width))
+
+
+def format_profile(profile: CheckProfile, top: int = 10) -> str:
+    """The ``teapot analyze check-profile`` view: top-k cost tables,
+    the exploration timeline, and (parallel) the imbalance report."""
+    result = profile.result
+    verdict = "PASS" if result.get("ok") else "FAIL"
+    engine = ("serial" if profile.workers <= 1 and profile.parallel is None
+              else f"{profile.workers} workers")
+    lines = [
+        f"check profile: {profile.protocol}  (nodes={profile.nodes} "
+        f"addresses={profile.addresses} reorder={profile.reorder} "
+        f"engine={engine})",
+        f"verdict: {verdict}  states={result.get('states')} "
+        f"transitions={result.get('transitions')} "
+        f"depth={result.get('max_depth')}  "
+        f"wall={_fmt_seconds(profile.wall_seconds)}  "
+        f"{result.get('states_per_second', 0.0):.0f} states/s",
+    ]
+    phase_total = sum(profile.phases.values()) or 1.0
+    basis = ("of wall time" if profile.parallel is None
+             else "of worker busy time")
+    lines.append(f"phases ({basis}):")
+    for name in sorted(profile.phases,
+                       key=lambda n: -profile.phases[n]):
+        seconds = profile.phases[name]
+        share = seconds / phase_total
+        lines.append(f"  {name:14s} {_fmt_seconds(seconds):>9s}  "
+                     f"{share:6.1%}  {_bar(share)}")
+
+    if profile.dispatch:
+        ranked = sorted(profile.dispatch.items(),
+                        key=lambda item: -item[1]["seconds"])[:top]
+        lines.append(f"top {len(ranked)} dispatch costs "
+                     "(sub-attribution of the successors phase):")
+        for key, entry in ranked:
+            mean = entry["seconds"] / entry["count"] if entry["count"] else 0
+            lines.append(
+                f"  {key:40s} {entry['count']:>8} fires  "
+                f"{_fmt_seconds(entry['seconds']):>9s} total  "
+                f"{_fmt_seconds(mean):>8s} mean")
+
+    if profile.out_degree:
+        pairs = sorted(((int(k), v) for k, v in profile.out_degree.items()))
+        total_states = sum(v for _, v in pairs)
+        weighted = sum(k * v for k, v in pairs)
+        lines.append(
+            f"successor out-degree: mean "
+            f"{weighted / total_states:.2f} over {total_states} expanded "
+            "states; histogram "
+            + " ".join(f"{k}:{v}" for k, v in pairs))
+
+    if profile.timeline:
+        lines.append("timeline (depth-sampled):")
+        lines.append(f"  {'t':>8s} {'states':>8s} {'frontier':>8s} "
+                     f"{'depth':>5s} {'states/s':>9s}")
+        samples = profile.timeline
+        if len(samples) > 2 * top:
+            # Keep the shape readable: first, evenly thinned middle, last.
+            step = max(1, len(samples) // (2 * top))
+            samples = samples[::step] + [profile.timeline[-1]]
+        for point in samples:
+            lines.append(
+                f"  {point['t']:8.3f} {point['states']:>8} "
+                f"{point['frontier']:>8} {point['depth']:>5} "
+                f"{point['states_per_s']:>9.0f}")
+
+    visited = profile.visited
+    if visited:
+        detail = f"{visited.get('entries', 0)} entries"
+        if visited.get("container_bytes"):
+            detail += f", ~{visited['container_bytes'] / 1024:.0f} KiB"
+        detail += f" ({visited.get('mode', '?')} keys"
+        if "expected_collisions" in visited:
+            detail += (f"; expected 64-bit collisions "
+                       f"{visited['expected_collisions']:.2e}")
+        detail += ")"
+        lines.append(f"visited set: {detail}")
+
+    if profile.parallel is not None:
+        par = profile.parallel
+        lines.append(
+            f"parallel: {par['waves']} waves, "
+            f"wave time {_fmt_seconds(par['wave_seconds_total'])}, "
+            f"master routing "
+            f"{_fmt_seconds(par['master_routing_seconds'])}, "
+            f"imbalance(max/mean accepted)="
+            f"{par['imbalance_max_over_mean_accepted']:.2f}")
+        for worker in par["workers"]:
+            busy = worker["busy_seconds"]
+            barrier = worker["barrier_wait_seconds"]
+            total = busy + barrier
+            busy_share = busy / total if total else 0.0
+            lines.append(
+                f"  w{worker['id']}: busy {_fmt_seconds(busy):>9s} "
+                f"({busy_share:5.1%})  barrier "
+                f"{_fmt_seconds(barrier):>9s}  "
+                f"accepted={worker['accepted']}")
+        cross = par["cross_shard"]
+        lines.append(
+            f"  cross-shard: {cross['entries']} states shipped, "
+            f"~{cross['bytes'] / 1024:.1f} KiB")
+    return "\n".join(lines) + "\n"
+
+
+def diff_profiles(a: CheckProfile, b: CheckProfile,
+                  top: int = 8) -> str:
+    """Compare two check profiles (``teapot analyze diff a b``)."""
+
+    def config(p: CheckProfile) -> str:
+        return (f"{p.protocol} nodes={p.nodes} addresses={p.addresses} "
+                f"reorder={p.reorder} workers={p.workers}")
+
+    lines = [f"a: {config(a)}", f"b: {config(b)}"]
+    if config(a) != config(b):
+        lines.append("note: configurations differ; deltas compare "
+                     "different explorations")
+
+    def delta(name, va, vb, unit=""):
+        change = ""
+        if va:
+            change = f"  ({(vb - va) / va:+.1%})"
+        return f"  {name:24s} {va:>12.6g} -> {vb:>12.6g}{unit}{change}"
+
+    lines.append("headline:")
+    lines.append(delta("states/s",
+                       a.result.get("states_per_second", 0.0),
+                       b.result.get("states_per_second", 0.0)))
+    lines.append(delta("wall_seconds", a.wall_seconds, b.wall_seconds))
+    lines.append(delta("states", a.result.get("states", 0),
+                       b.result.get("states", 0)))
+    lines.append(delta("transitions", a.result.get("transitions", 0),
+                       b.result.get("transitions", 0)))
+
+    lines.append("phases (seconds):")
+    for name in PHASES:
+        va = a.phases.get(name, 0.0)
+        vb = b.phases.get(name, 0.0)
+        if va or vb:
+            lines.append(delta(name, va, vb))
+
+    movers = sorted(
+        set(a.dispatch) | set(b.dispatch),
+        key=lambda key: -abs(b.dispatch.get(key, {}).get("seconds", 0.0)
+                             - a.dispatch.get(key, {}).get("seconds", 0.0)))
+    movers = [key for key in movers
+              if (a.dispatch.get(key, {}).get("seconds", 0.0)
+                  or b.dispatch.get(key, {}).get("seconds", 0.0))][:top]
+    if movers:
+        lines.append(f"dispatch movers (top {len(movers)} by |delta|):")
+        for key in movers:
+            lines.append(delta(
+                key,
+                a.dispatch.get(key, {}).get("seconds", 0.0),
+                b.dispatch.get(key, {}).get("seconds", 0.0)))
+
+    ea = a.visited.get("entries", 0)
+    eb = b.visited.get("entries", 0)
+    if ea or eb:
+        lines.append("visited set:")
+        lines.append(delta("entries", ea, eb))
+    return "\n".join(lines) + "\n"

@@ -10,6 +10,7 @@ failure.  Exploration is exhaustive up to ``max_states``.
 from __future__ import annotations
 
 import re
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -171,6 +172,9 @@ class CheckResult:
     # The fault budget (drops, dups) the exploration was allowed to
     # spend on each path; (0, 0) is classic fault-free checking.
     fault_budget: tuple = (0, 0)
+    # When the run was profiled: the CheckProfile artifact
+    # (repro.obs.profile), else None.
+    profile: Optional[object] = None
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -188,6 +192,56 @@ class CheckResult:
             f"(nodes={self.n_nodes}, addrs={self.n_blocks}, "
             f"reorder={self.reorder_bound}{workers}{faults})"
         )
+
+
+# -- progress-line plumbing (shared by the serial and parallel checkers) --------
+
+def _rolling_rate(window, elapsed: float, states: int):
+    """states/s over the last few progress samples (None until two
+    samples exist).  ``window`` is a bounded deque of (elapsed, states)
+    pairs this call appends to."""
+    window.append((elapsed, states))
+    if len(window) < 2:
+        return None
+    dt = window[-1][0] - window[0][0]
+    ds = window[-1][1] - window[0][1]
+    return ds / dt if dt > 0 else None
+
+
+def _eta_seconds(states: int, max_states: int, rate) -> "float | None":
+    """Upper-bound ETA: time to reach the --max-states cap at the
+    current rate.  A search whose frontier empties sooner finishes
+    sooner, so this is a ceiling, not a prediction."""
+    if not rate or rate <= 0 or states >= max_states:
+        return None
+    return (max_states - states) / rate
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def format_progress_line(name: str, states: int, frontier: int,
+                         depth: int, transitions: int, inv_evals: int,
+                         rate: float, rolling, eta, suffix: str,
+                         extra: str = "") -> str:
+    """One progress line; the serial and parallel checkers both emit
+    exactly this format (the parallel checker appends per-worker rates
+    via ``extra``)."""
+    detail = ""
+    if rolling is not None:
+        detail = f" (rolling {rolling:.0f}/s"
+        if eta is not None:
+            detail += f", eta<={_fmt_eta(eta)} to state cap"
+        detail += ")"
+    return (f"[verify {name}] states={states} frontier={frontier} "
+            f"depth={depth} transitions={transitions} "
+            f"inv_evals={inv_evals} {rate:.0f} states/s"
+            f"{detail}{extra} {suffix}")
 
 
 class ModelChecker:
@@ -216,6 +270,7 @@ class ModelChecker:
         fingerprint_states: bool = False,
         fingerprint_fn=None,
         fault_budget=None,
+        profiler=None,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -269,8 +324,15 @@ class ModelChecker:
             self.fault_budget = fault_budget.as_tuple()
         else:
             self.fault_budget = tuple(fault_budget)
+        # Exploration profiling (repro.obs.profile.CheckProfiler), or
+        # None.  The profiler is a pure observer: with it absent the
+        # hot loop runs the exact code it always ran, and armed it only
+        # reads clocks -- verdicts, state counts, fingerprints, and
+        # checkpoints are identical either way (tests/test_profile.py).
+        self.profiler = profiler
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
+        self._progress_window: deque = deque(maxlen=8)
 
     def home_of(self, block: int) -> int:
         return block % self.n_nodes
@@ -280,34 +342,49 @@ class ModelChecker:
     def _run_action(self, mutable: MutableState, node: int,
                     message: Message) -> CheckerContext:
         """One atomic protocol action: dispatch plus queue redelivery."""
+        prof = self.profiler
         ctx = CheckerContext(self.protocol, mutable, node, self.home_of)
         interp = self.interpreter_factory(self.protocol, ctx)
         record = mutable.record(node, message.block)
         record["state_changed"] = False
-        self._count_fire(record["state_name"], message.tag)
+        key = self._count_fire(record["state_name"], message.tag)
         ctx.begin(message)
-        interp.dispatch()
+        if prof is None:
+            interp.dispatch()
+        else:
+            t0 = time.perf_counter()
+            interp.dispatch()
+            prof.add_dispatch(key, time.perf_counter() - t0)
         while record["state_changed"] and record["queue"]:
             record["state_changed"] = False
             drained = record["queue"]
             record["queue"] = []
             for deferred in drained:
-                self._count_fire(record["state_name"], deferred.tag)
+                key = self._count_fire(record["state_name"], deferred.tag)
                 ctx.begin(deferred)
-                interp.dispatch()
+                if prof is None:
+                    interp.dispatch()
+                else:
+                    t0 = time.perf_counter()
+                    interp.dispatch()
+                    prof.add_dispatch(key, time.perf_counter() - t0)
         return ctx
 
-    def _count_fire(self, state_name: str, tag: str) -> None:
+    def _count_fire(self, state_name: str, tag: str) -> Optional[str]:
         """Coverage accounting: the handler about to run for ``tag`` in
         ``state_name`` (resolving DEFAULT fallback exactly like the
         interpreter does).  Counts both initial dispatches and queue
-        redeliveries, so every arm the exploration exercises is seen."""
+        redeliveries, so every arm the exploration exercises is seen.
+        Returns the arm key, which the profiler attributes dispatch
+        cost to."""
         state = self.protocol.states.get(state_name)
         handler = state.dispatch(tag) if state is not None else None
-        if handler is not None:
-            key = f"{state_name}.{handler.message_name}"
-            fires = self._handler_fires
-            fires[key] = fires.get(key, 0) + 1
+        if handler is None:
+            return None
+        key = f"{state_name}.{handler.message_name}"
+        fires = self._handler_fires
+        fires[key] = fires.get(key, 0) + 1
+        return key
 
     def _apply_app_op(self, state: GlobalState, node: int, op: tuple,
                       new_gen: tuple) -> Optional[GlobalState]:
@@ -422,6 +499,10 @@ class ModelChecker:
     def run(self) -> CheckResult:
         """Breadth-first exploration from the initial state."""
         start_time = time.perf_counter()
+        prof = self.profiler
+        if prof is not None:
+            prof.begin()
+        self._progress_window = deque(maxlen=8)
         self._invariant_evals = {}
         self._handler_fires = {}
         self._named_invariants = [
@@ -455,7 +536,7 @@ class ModelChecker:
                 self._report_progress(len(visited), len(frontier),
                                       max_depth, transitions, start_time,
                                       final=True)
-            return CheckResult(
+            res = CheckResult(
                 protocol_name=self.protocol.name,
                 ok=ok,
                 states_explored=len(visited),
@@ -472,6 +553,16 @@ class ModelChecker:
                 exhausted=not hit_limit,
                 fault_budget=self.fault_budget,
             )
+            if prof is not None:
+                prof.sample(len(visited), len(frontier), max_depth,
+                            transitions)
+                prof.set_visited(
+                    entries=len(visited),
+                    mode="fingerprint" if fp is not None else "state",
+                    container_bytes=(sys.getsizeof(visited)
+                                     + sys.getsizeof(parents)))
+                res.profile = prof.build(res)
+            return res
 
         def trace_to(key, last_label: str) -> list[str]:
             labels: list[str] = []
@@ -493,14 +584,33 @@ class ModelChecker:
         while frontier:
             state, key = frontier.popleft()
             found_successor = False
+            out_degree = 0
             try:
-                for label, successor in self._successors(state):
+                # Profiled runs wrap the successor generator so the time
+                # spent *generating* (handler dispatch included) is
+                # separated from this loop's per-successor bookkeeping.
+                successors = self._successors(state)
+                if prof is not None:
+                    successors = prof.timed_successors(successors)
+                for label, successor in successors:
                     transitions += 1
+                    out_degree += 1
                     found_successor = True
                     if self.check_progress:
                         graph[state].append(successor)
-                    succ_key = fp(successor) if fp else successor
+                    if prof is None or fp is None:
+                        succ_key = fp(successor) if fp else successor
+                    else:
+                        t0 = time.perf_counter()
+                        succ_key = fp(successor)
+                        prof.add_phase("fingerprint",
+                                       time.perf_counter() - t0)
+                    if prof is not None:
+                        t0 = time.perf_counter()
                     if succ_key in visited:
+                        if prof is not None:
+                            prof.add_phase("visited",
+                                           time.perf_counter() - t0)
                         continue
                     if len(visited) >= self.max_states:
                         hit_limit = True
@@ -515,8 +625,21 @@ class ModelChecker:
                     if self.check_progress:
                         graph.setdefault(successor, [])
                     depth[succ_key] = depth[key] + 1
+                    if prof is not None:
+                        prof.add_phase("visited", time.perf_counter() - t0)
+                        if (depth[succ_key] > max_depth
+                                or len(visited) % prof.sample_every == 0):
+                            prof.sample(len(visited), len(frontier),
+                                        max(max_depth, depth[succ_key]),
+                                        transitions)
                     max_depth = max(max_depth, depth[succ_key])
-                    message = self._check_invariants(successor)
+                    if prof is None:
+                        message = self._check_invariants(successor)
+                    else:
+                        t0 = time.perf_counter()
+                        message = self._check_invariants(successor)
+                        prof.add_phase("invariants",
+                                       time.perf_counter() - t0)
                     if message is not None:
                         return result(False, Violation(
                             "invariant", message,
@@ -526,6 +649,8 @@ class ModelChecker:
                 return result(False, Violation(
                     "error", labelled.message,
                     trace_to(key, labelled.label), state))
+            if prof is not None:
+                prof.add_out_degree(out_degree)
             if not found_successor:
                 _, last_label = parents[key]
                 return result(False, Violation(
@@ -642,13 +767,15 @@ class ModelChecker:
                          start_time: float, final: bool = False) -> None:
         elapsed = time.perf_counter() - start_time
         rate = states / elapsed if elapsed > 0 else float(states)
-        evals = sum(self._invariant_evals.values())
-        suffix = "done" if final else "..."
+        rolling = _rolling_rate(self._progress_window, elapsed, states)
+        eta = None
+        if not final:
+            eta = _eta_seconds(states, self.max_states, rolling or rate)
         print(
-            f"[verify {self.protocol.name}] states={states} "
-            f"frontier={frontier_size} depth={max_depth} "
-            f"transitions={transitions} inv_evals={evals} "
-            f"{rate:.0f} states/s {suffix}",
+            format_progress_line(
+                self.protocol.name, states, frontier_size, max_depth,
+                transitions, sum(self._invariant_evals.values()),
+                rate, rolling, eta, "done" if final else "..."),
             file=self.progress_stream, flush=True)
 
     @staticmethod

@@ -118,6 +118,16 @@ def fingerprint(state: GlobalState) -> int:
         blake2b(encode_state(state), digest_size=8).digest(), "big")
 
 
+def expected_collisions(entries: int,
+                        bits: int = FINGERPRINT_BITS) -> float:
+    """Birthday-bound estimate of silent merges in a table of
+    ``entries`` distinct states keyed by ``bits``-bit fingerprints
+    (n(n-1)/2 / 2^bits).  Exact detection would require keeping the
+    full states that compaction exists to discard; the check-profile
+    artifact reports this estimate instead."""
+    return entries * (entries - 1) / 2 / 2 ** bits
+
+
 # -- JSON codec (checkpoints) ---------------------------------------------------
 #
 # Tagged arrays keep tuples, sets, messages, and continuation records

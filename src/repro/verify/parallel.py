@@ -47,8 +47,10 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import pickle
+import sys
 import time
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import IO, Optional
 
 from repro.runtime.exec import HandlerInterpreter
@@ -58,6 +60,9 @@ from repro.verify.checker import (
     ModelChecker,
     Violation,
     _LabelledViolation,
+    _eta_seconds,
+    _rolling_rate,
+    format_progress_line,
 )
 from repro.verify.events import EventGenerator
 from repro.verify.fingerprint import state_from_jsonable, state_to_jsonable
@@ -133,19 +138,29 @@ def _worker_main(conn, worker_id: int, n_workers: int,
         elif op == "wave":
             _, wave_no, foreign = command
             started = time.perf_counter()
+            prof = checker.profiler
             candidates = local_next + foreign
             local_next = []
             accepted = []
             violations = []
             for sfp, state, pfp, label, depth in candidates:
+                t0 = time.perf_counter() if prof is not None else 0.0
                 if sfp in visited:
+                    if prof is not None:
+                        prof.add_phase("visited",
+                                       time.perf_counter() - t0)
                     continue
                 visited.add(sfp)
                 known.add(sfp)
                 parents[sfp] = (pfp, label)
                 if depth > max_depth:
                     max_depth = depth
+                if prof is not None:
+                    prof.add_phase("visited", time.perf_counter() - t0)
+                    t0 = time.perf_counter()
                 message = checker._check_invariants(state)
+                if prof is not None:
+                    prof.add_phase("invariants", time.perf_counter() - t0)
                 if message is not None:
                     violations.append(
                         ("invariant", message, depth, sfp, None))
@@ -153,12 +168,27 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             outbox = defaultdict(list)
             for sfp, state, depth in accepted:
                 found_successor = False
+                out_degree = 0
                 try:
-                    for label, successor in checker._successors(state):
+                    successors = checker._successors(state)
+                    if prof is not None:
+                        successors = prof.timed_successors(successors)
+                    for label, successor in successors:
                         transitions += 1
+                        out_degree += 1
                         found_successor = True
-                        fp = fp_fn(successor)
+                        if prof is None:
+                            fp = fp_fn(successor)
+                        else:
+                            t0 = time.perf_counter()
+                            fp = fp_fn(successor)
+                            prof.add_phase("fingerprint",
+                                           time.perf_counter() - t0)
+                            t0 = time.perf_counter()
                         if fp in known:
+                            if prof is not None:
+                                prof.add_phase(
+                                    "visited", time.perf_counter() - t0)
                             continue
                         known.add(fp)
                         entry = (fp, successor, sfp, label, depth + 1)
@@ -166,10 +196,15 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                             local_next.append(entry)
                         else:
                             outbox[fp % n_workers].append(entry)
+                        if prof is not None:
+                            prof.add_phase("visited",
+                                           time.perf_counter() - t0)
                 except _LabelledViolation as labelled:
                     violations.append(("error", labelled.message, depth,
                                        sfp, labelled.label))
                     continue
+                if prof is not None:
+                    prof.add_out_degree(out_degree)
                 if not found_successor:
                     violations.append(("deadlock", _DEADLOCK_MESSAGE,
                                        depth, sfp, "<stuck>"))
@@ -182,6 +217,7 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 "outbox": dict(outbox),
                 "local_pending": len(local_next),
                 "violations": violations,
+                "inv_evals": sum(checker._invariant_evals.values()),
                 "seconds": time.perf_counter() - started,
             }))
 
@@ -201,9 +237,17 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             }))
 
         elif op == "finish":
+            profile_payload = None
+            if checker.profiler is not None:
+                checker.profiler.set_visited(
+                    entries=len(visited), mode="fingerprint",
+                    container_bytes=(sys.getsizeof(visited)
+                                     + sys.getsizeof(parents)))
+                profile_payload = checker.profiler.worker_payload()
             conn.send(("stats", {
                 "handler_fires": dict(checker._handler_fires),
                 "invariant_evals": dict(checker._invariant_evals),
+                "profile": profile_payload,
             }))
             conn.close()
             return
@@ -243,6 +287,7 @@ class ParallelChecker:
         resume: Optional[str] = None,
         fingerprint_fn=None,
         fault_budget=None,
+        profiler=None,
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -253,6 +298,11 @@ class ParallelChecker:
         self.resume = resume
         self.progress_stream = progress_stream
         self.progress_every = max(1, progress_every)
+        # The master keeps this profiler; forked workers inherit the
+        # template's copy of the same object but accumulate into their
+        # own process memory, shipping totals back in the finish reply.
+        self.profiler = profiler
+        self._progress_window: deque = deque(maxlen=8)
         # One fully configured serial checker serves as the template the
         # forked workers inherit, and as the replay engine for validating
         # reconstructed counterexamples.
@@ -263,7 +313,7 @@ class ParallelChecker:
             channel_cap=channel_cap,
             interpreter_factory=interpreter_factory,
             fingerprint_states=True, fingerprint_fn=fingerprint_fn,
-            fault_budget=fault_budget)
+            fault_budget=fault_budget, profiler=profiler)
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -296,6 +346,19 @@ class ParallelChecker:
                 f"configuration ({diffs})")
 
     def _write_checkpoint(self, path, conns, pending, wave, stats) -> None:
+        if self.profiler is not None:
+            started = time.perf_counter()
+            try:
+                self._write_checkpoint_inner(
+                    path, conns, pending, wave, stats)
+            finally:
+                self.profiler.add_phase(
+                    "checkpoint_io", time.perf_counter() - started)
+            return
+        self._write_checkpoint_inner(path, conns, pending, wave, stats)
+
+    def _write_checkpoint_inner(self, path, conns, pending, wave,
+                                stats) -> None:
         visited: list[str] = []
         parents: dict[str, list] = {}
         frontier: list = []
@@ -454,16 +517,21 @@ class ParallelChecker:
             candidates: list[list] = [[] for _ in range(n)]
             sent = [False] * n
             replies: list = [None] * n
+            prof = self.profiler
+            if prof is not None:
+                prof.begin()
             try:
                 while True:
                     candidates, pending = pending, [[] for _ in range(n)]
                     sent = [False] * n
                     replies = [None] * n
+                    wave_started = time.perf_counter()
                     for i, conn in enumerate(conns):
                         conn.send(("wave", wave, candidates[i]))
                         sent[i] = True
                     for i, conn in enumerate(conns):
                         replies[i] = conn.recv()[1]
+                    wave_no = wave
                     wave += 1
                     last_replies = replies
                     total_states = sum(r["visited"] for r in replies)
@@ -476,6 +544,17 @@ class ParallelChecker:
                         for owner, batch in reply["outbox"].items():
                             pending[owner].extend(batch)
                             frontier_size += len(batch)
+                            if prof is not None:
+                                prof.add_cross_shard(
+                                    len(batch), len(pickle.dumps(batch)))
+                    if prof is not None:
+                        prof.record_wave(
+                            wave_no, time.perf_counter() - wave_started,
+                            [{"id": i, "busy_seconds": r["seconds"],
+                              "accepted": r["accepted"]}
+                             for i, r in enumerate(replies)])
+                        prof.sample(total_states, frontier_size,
+                                    max_depth, transitions)
                     if (self.progress_stream is not None
                             and total_states // self.progress_every
                             > last_bucket):
@@ -537,6 +616,8 @@ class ParallelChecker:
                         invariant_evals.get(name, 0) + count)
                 for name, count in stats["handler_fires"].items():
                     handler_fires[name] = handler_fires.get(name, 0) + count
+                if prof is not None:
+                    prof.merge_worker(stats.get("profile"))
             for proc in procs:
                 proc.join(timeout=30)
 
@@ -550,7 +631,7 @@ class ParallelChecker:
                     total_states, 0, max_depth, transitions, start,
                     baseline, last_replies, final=True)
 
-            return CheckResult(
+            result = CheckResult(
                 protocol_name=template.protocol.name,
                 ok=violation is None,
                 states_explored=total_states,
@@ -569,6 +650,9 @@ class ParallelChecker:
                 workers=n,
                 fault_budget=template.fault_budget,
             )
+            if prof is not None:
+                result.profile = prof.build(result)
+            return result
         finally:
             for proc in procs:
                 if proc.is_alive():
@@ -582,14 +666,20 @@ class ParallelChecker:
                          start, baseline, replies, final=False) -> None:
         elapsed = baseline["elapsed"] + (time.perf_counter() - start)
         rate = states / elapsed if elapsed > 0 else float(states)
+        rolling = _rolling_rate(self._progress_window, elapsed, states)
+        eta = None
+        if not final:
+            eta = _eta_seconds(states, self._template.max_states,
+                               rolling if rolling is not None else rate)
+        inv_evals = sum(baseline["invariant_evals"].values()) + sum(
+            reply["inv_evals"] for reply in replies if reply)
         per_worker = " ".join(
             f"w{i}={reply['accepted'] / reply['seconds']:.0f}/s"
             if reply and reply["seconds"] > 0 else f"w{i}=idle"
             for i, reply in enumerate(replies))
-        suffix = "done" if final else "..."
         print(
-            f"[verify {self._template.protocol.name}] states={states} "
-            f"frontier={frontier_size} depth={max_depth} "
-            f"transitions={transitions} {rate:.0f} states/s "
-            f"[{per_worker}] {suffix}",
+            format_progress_line(
+                self._template.protocol.name, states, frontier_size,
+                max_depth, transitions, inv_evals, rate, rolling, eta,
+                "done" if final else "...", extra=f" [{per_worker}]"),
             file=self.progress_stream, flush=True)

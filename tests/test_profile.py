@@ -1,0 +1,375 @@
+"""Tests for the exploration profiler (repro.obs.profile).
+
+The profiler's contract has two halves:
+
+1. **Off is free.**  A run with no profiler and a run with one armed
+   explore the identical state space: verdict, state/transition/depth
+   counts, handler fires, the exact fingerprint stream, and checkpoint
+   bytes all match.  Pinned by golden comparisons and a hypothesis
+   property.
+2. **On is accountable.**  The recorded phase times partition wall
+   time (serial) / worker busy time (parallel), per-worker busy +
+   barrier-wait closes against the wave clock, and the artifact
+   round-trips through JSON with schema validation.
+"""
+
+import json
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import CheckOptions, check
+from repro.cli import main
+from repro.obs.analyze import TraceError
+from repro.obs.profile import (
+    PHASES,
+    PROFILE_KIND,
+    PROFILE_VERSION,
+    CheckProfile,
+    CheckProfiler,
+    diff_profiles,
+    format_profile,
+    load_profile,
+)
+from repro.protocols import compile_named_protocol
+from repro.verify import (
+    ModelChecker,
+    ParallelChecker,
+    events_for_protocol,
+    fingerprint,
+)
+from repro.verify.invariants import standard_invariants
+
+
+def make_serial(name="stache", reorder=0, profiler=None, **kwargs):
+    protocol = compile_named_protocol(name)
+    return ModelChecker(
+        protocol, n_nodes=2, n_blocks=1, reorder_bound=reorder,
+        events=events_for_protocol(name),
+        invariants=standard_invariants(coherent=True),
+        profiler=profiler, **kwargs)
+
+
+def make_parallel(name="stache", reorder=0, workers=2, profiler=None,
+                  **kwargs):
+    protocol = compile_named_protocol(name)
+    return ParallelChecker(
+        protocol, n_nodes=2, n_blocks=1, reorder_bound=reorder,
+        events=events_for_protocol(name),
+        invariants=standard_invariants(coherent=True),
+        workers=workers, profiler=profiler, **kwargs)
+
+
+def outcome(result):
+    return (result.ok, result.states_explored, result.transitions,
+            result.max_depth, result.handler_fires, result.invariant_evals)
+
+
+class TestOffModeIsFree:
+    """Armed vs. absent: everything but host wall time is identical."""
+
+    def test_serial_outcome_identical(self):
+        plain = make_serial(reorder=1).run()
+        prof = make_serial(reorder=1, profiler=CheckProfiler()).run()
+        assert outcome(plain) == outcome(prof)
+        assert plain.profile is None
+        assert prof.profile is not None
+
+    def test_serial_fingerprint_stream_identical(self):
+        def recording_fp(log):
+            def fp(state):
+                value = fingerprint(state)
+                log.append(value)
+                return value
+            return fp
+
+        plain_log, prof_log = [], []
+        plain = make_serial(reorder=1, fingerprint_states=True,
+                            fingerprint_fn=recording_fp(plain_log)).run()
+        prof = make_serial(reorder=1, fingerprint_states=True,
+                           fingerprint_fn=recording_fp(prof_log),
+                           profiler=CheckProfiler()).run()
+        assert outcome(plain) == outcome(prof)
+        assert plain_log == prof_log          # same stream, same order
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_parallel_outcome_identical(self, workers):
+        plain = make_parallel(reorder=1, workers=workers).run()
+        prof = make_parallel(reorder=1, workers=workers,
+                             profiler=CheckProfiler()).run()
+        assert outcome(plain) == outcome(prof)
+        assert prof.profile is not None
+
+    def test_checkpoint_bytes_identical(self, tmp_path):
+        """A truncated run writes the same checkpoint armed or not
+        (only the wall-clock ``elapsed`` field may differ)."""
+        def checkpoint(profiler, path):
+            make_parallel("lcm_mcc", reorder=1, workers=2,
+                          max_states=100, profiler=profiler,
+                          checkpoint_out=str(path)).run()
+            text = path.read_text()
+            return re.sub(r'"elapsed": [0-9.e-]+', '"elapsed": 0', text)
+
+        plain = checkpoint(None, tmp_path / "plain.json")
+        prof = checkpoint(CheckProfiler(), tmp_path / "prof.json")
+        assert plain == prof
+
+    @settings(max_examples=10, deadline=None)
+    @given(reorder=st.integers(min_value=0, max_value=1),
+           fingerprints=st.booleans(),
+           sample_every=st.integers(min_value=1, max_value=50))
+    def test_property_armed_never_changes_exploration(
+            self, reorder, fingerprints, sample_every):
+        plain = make_serial(reorder=reorder,
+                            fingerprint_states=fingerprints).run()
+        prof = make_serial(
+            reorder=reorder, fingerprint_states=fingerprints,
+            profiler=CheckProfiler(sample_every=sample_every)).run()
+        assert outcome(plain) == outcome(prof)
+
+
+class TestPhaseAccounting:
+    def test_serial_phases_partition_wall_time(self):
+        result = make_serial("lcm_mcc", reorder=1,
+                             profiler=CheckProfiler()).run()
+        profile = result.profile
+        assert set(profile.phases) == set(PHASES)
+        assert all(seconds >= 0 for seconds in profile.phases.values())
+        # "other" closes the partition: the phases sum to wall time.
+        assert sum(profile.phases.values()) == pytest.approx(
+            profile.wall_seconds, abs=1e-3)
+
+    def test_serial_dispatch_counts_match_handler_fires(self):
+        result = make_serial("lcm_mcc", reorder=1,
+                             profiler=CheckProfiler()).run()
+        dispatched = sum(entry["count"]
+                         for entry in result.profile.dispatch.values())
+        assert dispatched == sum(result.handler_fires.values())
+
+    def test_serial_timeline_monotonic_and_final(self):
+        result = make_serial("lcm_mcc", reorder=1,
+                             profiler=CheckProfiler(sample_every=50)).run()
+        timeline = result.profile.timeline
+        assert len(timeline) >= 2
+        states = [point["states"] for point in timeline]
+        assert states == sorted(states)
+        assert states[-1] == result.states_explored
+        assert timeline[-1]["frontier"] == 0
+
+    def test_parallel_worker_accounting_sums(self):
+        result = make_parallel("lcm_mcc", reorder=1, workers=2,
+                               profiler=CheckProfiler()).run()
+        profile = result.profile
+        par = profile.parallel
+        assert par is not None
+        assert par["waves"] == len(par["per_wave"]) > 0
+        # Each worker's busy + barrier-wait closes against the wave
+        # clock, per wave and in total.
+        for worker in par["workers"]:
+            assert (worker["busy_seconds"] + worker["barrier_wait_seconds"]
+                    == pytest.approx(par["wave_seconds_total"], abs=1e-3))
+        # abs tolerance covers the independent 6-decimal rounding of
+        # each per-worker figure vs. the rounded total.
+        assert par["busy_seconds_total"] == pytest.approx(
+            sum(w["busy_seconds"] for w in par["workers"]), abs=1e-5)
+        # Compute phases partition total worker busy time.
+        attributed = sum(seconds for name, seconds in profile.phases.items()
+                         if name != "checkpoint_io")
+        assert attributed == pytest.approx(
+            par["busy_seconds_total"], abs=1e-3)
+        # Both workers accepted work on this row.
+        assert sum(w["accepted"] for w in par["workers"]) \
+            == result.states_explored
+        assert par["cross_shard"]["entries"] > 0
+        assert par["cross_shard"]["bytes"] > 0
+
+    def test_shared_fields_consistent_across_engines(self):
+        profiles = {}
+        for workers in (0, 1, 2, 3):
+            result = check("lcm_mcc", CheckOptions(
+                reorder=1, workers=workers, profile=True))
+            profile = result.profile
+            assert profile.result["states"] == 789
+            assert profile.result["transitions"] == 3172
+            assert profile.result["max_depth"] == 24
+            dispatched = {key: entry["count"]
+                          for key, entry in profile.dispatch.items()}
+            assert dispatched == result.handler_fires
+            profiles[workers] = profile
+        # The same states are expanded whatever the engine, so the
+        # out-degree histogram and dispatch counts are engine-invariant.
+        serial = profiles[0]
+        for workers in (1, 2, 3):
+            assert profiles[workers].out_degree == serial.out_degree
+            assert {key: entry["count"]
+                    for key, entry in profiles[workers].dispatch.items()} \
+                == {key: entry["count"]
+                    for key, entry in serial.dispatch.items()}
+
+    def test_visited_collision_estimate(self):
+        result = check("lcm_mcc", CheckOptions(
+            reorder=1, workers=2, profile=True))
+        visited = result.profile.visited
+        assert visited["mode"] == "fingerprint"
+        assert visited["entries"] == 789
+        assert visited["fingerprint_bits"] == 64
+        assert 0 < visited["expected_collisions"] < 1e-9
+        assert visited["container_bytes"] > 0
+
+
+class TestArtifact:
+    def build(self, tmp_path, **options):
+        result = check("lcm_mcc", CheckOptions(
+            reorder=1, profile=True, **options))
+        path = tmp_path / "profile.json"
+        result.profile.save(str(path))
+        return result.profile, path
+
+    def test_round_trip(self, tmp_path):
+        profile, path = self.build(tmp_path)
+        loaded = load_profile(str(path))
+        assert loaded.to_json() == profile.to_json()
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == PROFILE_KIND
+        assert payload["version"] == PROFILE_VERSION
+
+    def test_parallel_round_trip(self, tmp_path):
+        profile, path = self.build(tmp_path, workers=2)
+        loaded = load_profile(str(path))
+        assert loaded.parallel == profile.parallel
+        assert loaded.to_json() == profile.to_json()
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "something-else", "version": 1}')
+        with pytest.raises(TraceError, match="not a check profile"):
+            load_profile(str(path))
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(
+            {"kind": PROFILE_KIND, "version": PROFILE_VERSION + 1}))
+        with pytest.raises(TraceError, match="version"):
+            load_profile(str(path))
+
+    def test_friendly_load_errors(self, tmp_path):
+        with pytest.raises(TraceError, match="no such file"):
+            load_profile(str(tmp_path / "missing.json"))
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            load_profile(str(empty))
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            load_profile(str(garbage))
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2]")
+        with pytest.raises(TraceError, match="not an object"):
+            load_profile(str(array))
+
+    def test_format_profile_renders(self, tmp_path):
+        profile, _path = self.build(tmp_path, workers=2)
+        text = format_profile(profile)
+        assert "check profile: LCMMcc" in text
+        assert "verdict: PASS" in text
+        assert "phases (of worker busy time):" in text
+        assert "parallel: " in text
+        assert "cross-shard" in text
+
+    def test_diff_profiles(self, tmp_path):
+        serial, _ = self.build(tmp_path)
+        parallel, _ = self.build(tmp_path, workers=2)
+        text = diff_profiles(serial, parallel)
+        assert "headline:" in text
+        assert "states/s" in text
+        assert "configurations differ" in text
+        same = diff_profiles(serial, serial)
+        assert "configurations differ" not in same
+
+
+class TestCli:
+    def test_verify_profile_out_and_render(self, tmp_path, capsys):
+        path = tmp_path / "p.json"
+        assert main(["verify", "lcm_mcc", "--reorder", "1",
+                     "--profile-out", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "wrote check profile" in captured.err
+        assert main(["analyze", "check-profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "check profile: LCMMcc" in out
+        assert "phases (of wall time):" in out
+        assert "dispatch costs" in out
+
+    def test_analyze_diff_profiles(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path, workers in ((a, "0"), (b, "2")):
+            assert main(["verify", "lcm_mcc", "--reorder", "1",
+                         "--workers", workers,
+                         "--profile-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "diff", str(a), str(b)]) == 0
+        assert "states/s" in capsys.readouterr().out
+
+    def test_check_profile_friendly_errors(self, tmp_path, capsys):
+        assert main(["analyze", "check-profile",
+                     str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "no such file" in err
+        wrong = tmp_path / "metrics.json"
+        wrong.write_text('{"kind": "teapot-coverage", "v": 1}')
+        assert main(["analyze", "check-profile", str(wrong)]) == 1
+        err = capsys.readouterr().err
+        assert "not a check profile" in err
+        assert err.count("\n") == 1      # one line, no traceback
+
+    def test_diff_refuses_mixed_kinds(self, tmp_path, capsys):
+        profile = tmp_path / "p.json"
+        assert main(["verify", "lcm_mcc", "--reorder", "1",
+                     "--profile-out", str(profile)]) == 0
+        coverage = tmp_path / "cov.json"
+        assert main(["analyze", "coverage", "--verify", "lcm_mcc",
+                     "-o", str(coverage)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "diff", str(profile), str(coverage)]) == 1
+        assert "cannot diff" in capsys.readouterr().err
+
+
+class TestProfilerUnit:
+    def test_timed_successors_passthrough(self):
+        profiler = CheckProfiler()
+        items = [("a", 1), ("b", 2)]
+        assert list(profiler.timed_successors(iter(items))) == items
+        assert profiler.phases["successors"] > 0
+
+    def test_dispatch_skips_anonymous(self):
+        profiler = CheckProfiler()
+        profiler.add_dispatch(None, 1.0)
+        assert profiler.dispatch == {}
+        profiler.add_dispatch("Home.GET", 0.5)
+        profiler.add_dispatch("Home.GET", 0.25)
+        assert profiler.dispatch == {"Home.GET": [2, 0.75]}
+
+    def test_merge_worker_accumulates(self):
+        profiler = CheckProfiler()
+        payload = {"phases": {"successors": 1.0},
+                   "dispatch": {"Home.GET": [3, 0.5]},
+                   "out_degree": {"2": 4},
+                   "visited_entries": 10, "visited_bytes": 100}
+        profiler.merge_worker(payload)
+        profiler.merge_worker(payload)
+        profiler.merge_worker(None)           # a worker with no profiler
+        assert profiler.phases["successors"] == pytest.approx(2.0)
+        assert profiler.dispatch["Home.GET"] == [6, 1.0]
+        assert profiler.out_degree[2] == 8
+        assert profiler.visited_stats["entries"] == 20
+
+    def test_from_json_defaults_missing_fields(self):
+        profile = CheckProfile.from_json(
+            {"kind": PROFILE_KIND, "version": PROFILE_VERSION})
+        assert profile.protocol == "?"
+        assert profile.phases == {}
+        assert profile.parallel is None

@@ -23,14 +23,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_common import bench_meta, write_bench  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.verify import (  # noqa: E402
     ModelChecker,
@@ -112,12 +111,9 @@ def main() -> int:
         tables["scaled_lcm_mcc_3n"] = bench_row(
             "scaled row", 3, 1, 1, worker_counts, 1)
 
-    report = {
-        "benchmark": "parallel model checking, Table 3 LCM MCC",
+    report = bench_meta("parallel model checking, Table 3 LCM MCC")
+    report.update({
         "protocol": PROTOCOL,
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "platform": platform.platform(),
         "repeats": args.repeats,
         "timer": "best-of-repeats wall time around checker.run()",
         "rows": tables,
@@ -125,11 +121,8 @@ def main() -> int:
                 "identical across all configurations; speedup requires "
                 "cpu_count >= workers -- on fewer cores the sharded run "
                 "pays process and IPC overhead with nothing to overlap",
-    }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+    })
+    write_bench(args.output, report)
     return 0
 
 

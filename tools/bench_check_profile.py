@@ -1,0 +1,104 @@
+"""Measure the exploration profiler's overhead and the checker baseline.
+
+Runs the Table 3 LCM MCC verification row (2 nodes, 1 address, 1
+reordering) three ways -- profiler absent, profiler armed, and armed
+under the 2-worker parallel checker -- and reports states/s per
+configuration.  Verdict, state count, and transition count must be
+identical in all three (the profiler is a pure observer; armed it only
+reads clocks); the script fails loudly if they are not.
+
+The ``baseline.states_per_second`` number is the regression gate
+``tools/bench_compare.py`` tracks in CI: every checker-performance PR
+is judged against the committed BENCH_check_profile.json.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_check_profile.py \
+        [-o BENCH_check_profile.json] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_common import bench_meta, write_bench  # noqa: E402
+from repro.api import CheckOptions, check  # noqa: E402
+
+PROTOCOL = "lcm_mcc"
+ROW = dict(nodes=2, addresses=1, reorder=1)
+
+
+def bench(options, repeats):
+    """Best-of-repeats wall time; returns (result, seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = check(PROTOCOL, options)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output",
+                        default="BENCH_check_profile.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    configs = {
+        "baseline": CheckOptions(**ROW),
+        "profiled": CheckOptions(**ROW, profile=True),
+        "profiled_workers_2": CheckOptions(**ROW, workers=2, profile=True),
+    }
+    rows = {}
+    outcomes = set()
+    profile = None
+    for name, options in configs.items():
+        result, seconds = bench(options, args.repeats)
+        outcomes.add((result.ok, result.states_explored, result.transitions))
+        rows[name] = {
+            "wall_seconds": round(seconds, 4),
+            "states": result.states_explored,
+            "states_per_second": round(
+                result.states_explored / seconds, 1) if seconds else 0.0,
+        }
+        if name == "profiled":
+            profile = result.profile
+        print(f"{name:20s} {seconds:8.4f}s  "
+              f"{rows[name]['states_per_second']:10.1f} states/s")
+    if len(outcomes) != 1:
+        raise SystemExit(f"configurations diverged: {sorted(outcomes)}")
+
+    base = rows["baseline"]["wall_seconds"]
+    for row in rows.values():
+        row["overhead_pct"] = round(
+            100.0 * (row["wall_seconds"] - base) / base, 1)
+
+    report = bench_meta("exploration profiler overhead, Table 3 LCM MCC")
+    report.update({
+        "protocol": PROTOCOL,
+        "row": dict(ROW),
+        "repeats": args.repeats,
+        "timer": "best-of-repeats wall time around api.check()",
+        "configs": rows,
+        # The armed serial run's phase split, so the committed artifact
+        # doubles as a where-do-the-cycles-go snapshot for the ROADMAP
+        # hot-loop work.
+        "profiled_phases": dict(profile.phases) if profile else {},
+        "note": "verdict/states/transitions are asserted identical in "
+                "all configurations; the profiler only reads clocks -- "
+                "overhead is host wall time.  baseline.states_per_second "
+                "is the CI regression gate (bench_compare.py).",
+    })
+    write_bench(args.output, report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

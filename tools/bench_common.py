@@ -1,0 +1,58 @@
+"""Shared plumbing for the ``tools/bench_*.py`` writers.
+
+Every BENCH_*.json artifact starts with the same metadata header::
+
+    {schema, benchmark, cpu_count, platform, python, git_rev, timestamp}
+
+so ``tools/bench_compare.py`` can line two artifacts up, normalize by
+the recorded host facts, and warn when the hosts are not comparable.
+``schema`` versions the header itself, not any benchmark's payload --
+each benchmark keeps its own row layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+
+BENCH_SCHEMA = "teapot-bench/1"
+
+# Header keys bench_compare.py treats as host facts, not metrics.
+META_KEYS = ("schema", "benchmark", "cpu_count", "platform", "python",
+             "git_rev", "timestamp")
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except OSError:
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def bench_meta(benchmark: str) -> dict:
+    """The unified metadata header every bench writer leads with."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+    }
+
+
+def write_bench(path: str, report: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")

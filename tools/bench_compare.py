@@ -1,0 +1,162 @@
+"""Compare two BENCH_*.json artifacts and gate on regressions.
+
+Loads a baseline and a candidate bench artifact (any of the
+``tools/bench_*.py`` outputs), flattens every numeric metric to a
+dotted path, and reports per-metric deltas.  Direction is inferred
+from the metric name: ``*per_second*`` and ``*speedup*`` are
+higher-is-better, ``*seconds*`` and ``*pct*`` are lower-is-better,
+anything else is informational only.
+
+Metrics matching a ``--gate`` glob (default ``*states_per_second*``)
+are *gated*: if any regresses by more than ``--threshold`` (default
+0.2 = 20%), the exit status is nonzero.  This is the CI regression
+gate the ROADMAP's checker-performance work is judged against.
+
+Host normalization: artifacts written by ``bench_common.bench_meta``
+record ``cpu_count``/``platform``/``python``.  When those differ the
+report says so; ``--normalize-cpu`` additionally scales per-second
+metrics to a per-core basis before comparing (crude, but it keeps a
+4-core laptop from "regressing" a 16-core CI baseline).
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--threshold 0.2] [--gate GLOB ...] [--normalize-cpu]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fnmatch import fnmatch
+
+from bench_common import META_KEYS
+
+HIGHER_BETTER = ("per_second", "speedup")
+LOWER_BETTER = ("seconds", "pct")
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"error: {path}: no such file")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: {path}: not valid JSON ({error.msg})")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"error: {path}: not a bench artifact "
+                         "(not an object)")
+    return payload
+
+
+def flatten(payload: dict, prefix: str = "") -> dict:
+    """Numeric leaves only, keyed by dotted path; header keys and
+    non-numeric annotations (notes, verdicts, timestamps) drop out."""
+    out = {}
+    for key, value in payload.items():
+        if not prefix and key in META_KEYS:
+            continue
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(flatten(value, f"{path}."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def direction(path: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 informational."""
+    leaf = path.rsplit(".", 1)[-1]
+    if any(mark in leaf for mark in HIGHER_BETTER):
+        return +1
+    if any(mark in leaf for mark in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        metavar="FRAC",
+                        help="gated regression tolerance as a fraction "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--gate", action="append", metavar="GLOB",
+                        help="metric paths to gate on (fnmatch glob, "
+                             "repeatable; default *states_per_second*)")
+    parser.add_argument("--normalize-cpu", action="store_true",
+                        help="scale per-second metrics by recorded "
+                             "cpu_count before comparing")
+    args = parser.parse_args()
+    gates = args.gate or ["*states_per_second*"]
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    for doc, path in ((base_doc, args.baseline), (cand_doc, args.candidate)):
+        if "schema" not in doc:
+            print(f"note: {path} has no schema header (pre-unification "
+                  "artifact); host normalization unavailable for it")
+
+    mismatched = [key for key in ("cpu_count", "platform", "python")
+                  if base_doc.get(key) != cand_doc.get(key)]
+    if mismatched:
+        detail = ", ".join(
+            f"{key}: {base_doc.get(key)!r} vs {cand_doc.get(key)!r}"
+            for key in mismatched)
+        print(f"caveat: hosts differ ({detail}) -- deltas mix machine "
+              "and code effects")
+
+    base = flatten(base_doc)
+    cand = flatten(cand_doc)
+    if args.normalize_cpu:
+        for doc, metrics in ((base_doc, base), (cand_doc, cand)):
+            cpus = doc.get("cpu_count")
+            if cpus:
+                for path in metrics:
+                    if "per_second" in path:
+                        metrics[path] /= cpus
+
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        raise SystemExit("error: the artifacts share no numeric metrics "
+                         "-- are they from the same benchmark?")
+    only = sorted(set(base) ^ set(cand))
+    if only:
+        print(f"note: {len(only)} metric(s) present in only one artifact "
+              f"(e.g. {only[0]}); comparing the {len(shared)} shared")
+
+    failures = []
+    print(f"{'metric':44s} {'baseline':>12s} {'candidate':>12s} "
+          f"{'delta':>8s}")
+    for path in shared:
+        va, vb = base[path], cand[path]
+        rel = (vb - va) / va if va else 0.0
+        sign = direction(path)
+        gated = any(fnmatch(path, glob) for glob in gates) and sign != 0
+        regressed = gated and (-sign * rel) > args.threshold
+        marks = ""
+        if gated:
+            marks = " [gate]"
+        if regressed:
+            marks += " REGRESSION"
+            failures.append((path, rel))
+        print(f"{path:44s} {va:>12.4g} {vb:>12.4g} {rel:>+7.1%}{marks}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gated metric(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for path, rel in failures:
+            print(f"  {path}: {rel:+.1%}")
+        return 1
+    print(f"\nOK: no gated metric regressed beyond {args.threshold:.0%} "
+          f"({len(shared)} metrics compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

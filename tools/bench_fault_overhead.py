@@ -15,14 +15,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_common import bench_meta, write_bench  # noqa: E402
 from repro.faults import FaultPlan, RecoveryConfig  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.tempest.machine import Machine, MachineConfig  # noqa: E402
@@ -89,21 +88,17 @@ def main() -> int:
         row["overhead_pct"] = round(
             100.0 * (row["wall_seconds"] - base) / base, 1)
 
-    report = {
-        "benchmark": "fault layer overhead, Table 1 gauss on stache",
+    report = bench_meta("fault layer overhead, Table 1 gauss on stache")
+    report.update({
         "n_nodes": N_NODES,
         "repeats": REPEATS,
         "timer": "best-of-repeats wall time, machine.run() only",
-        "python": platform.python_version(),
         "configs": rows,
         "note": "cycles are identical by construction; an idle fault "
                 "plan and an idle watchdog change no simulated "
                 "behaviour, only host wall time",
-    }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+    })
+    write_bench(args.output, report)
     return 0
 
 

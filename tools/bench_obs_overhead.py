@@ -15,14 +15,13 @@ from __future__ import annotations
 
 import argparse
 import io
-import json
 import os
-import platform
 import sys
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from bench_common import bench_meta, write_bench  # noqa: E402
 from repro.obs import JsonlSink, MetricsRegistry, Observer  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.tempest.machine import Machine, MachineConfig  # noqa: E402
@@ -96,20 +95,16 @@ def main() -> int:
         row["overhead_pct"] = round(
             100.0 * (row["wall_seconds"] - base) / base, 1)
 
-    report = {
-        "benchmark": "obs overhead, Table 1 gauss on stache",
+    report = bench_meta("obs overhead, Table 1 gauss on stache")
+    report.update({
         "n_nodes": N_NODES,
         "repeats": REPEATS,
         "timer": "best-of-repeats wall time, machine.run() only",
-        "python": platform.python_version(),
         "configs": rows,
         "note": "cycles are identical by construction; overhead is "
                 "host wall time only",
-    }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+    })
+    write_bench(args.output, report)
     return 0
 
 
