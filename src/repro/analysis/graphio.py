@@ -1,0 +1,125 @@
+"""Shared DOT / GraphML emission.
+
+Two very different graphs leave this repo as pictures: the *syntactic*
+per-machine state graph (``teapot graph --dot``, Figures 1/2/4) and the
+*explored* global state space (``teapot analyze atlas --dot``,
+docs/OBSERVABILITY.md "Mapping the state space").  Both funnel through
+the two writers here so quoting/escaping rules, attribute formatting,
+and the GraphML schema live in exactly one place.
+
+A graph is described as plain data: ``nodes`` is an iterable of
+``(node_id, attrs)`` pairs and ``edges`` of ``(src_id, dst_id, attrs)``
+triples, where ``attrs`` is a ``{name: value}`` dict.  DOT renders the
+attrs inline (``label``, ``shape``, ``style``, ...); GraphML declares a
+``<key>`` per attribute name and emits ``<data>`` children.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape as _xml_escape
+
+
+def _dot_quote(text: str) -> str:
+    return '"' + str(text).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _dot_attrs(attrs: dict) -> str:
+    """``[a=b, c="d"]`` -- bare identifiers stay bare (shape=box), the
+    rest are quoted, matching Graphviz conventions."""
+    if not attrs:
+        return ""
+    parts = []
+    for name, value in attrs.items():
+        text = str(value)
+        if text.isalnum():
+            parts.append(f"{name}={text}")
+        else:
+            parts.append(f"{name}={_dot_quote(text)}")
+    return " [" + ", ".join(parts) + "]"
+
+
+def dot_graph(name: str, nodes, edges, rankdir: str = "LR",
+              extra_lines: tuple = ()) -> str:
+    """A Graphviz digraph over (id, attrs) nodes and (src, dst, attrs)
+    edges."""
+    lines = [f"digraph {_dot_quote(name)} {{", f"  rankdir={rankdir};"]
+    lines.extend(f"  {line}" for line in extra_lines)
+    for node_id, attrs in nodes:
+        lines.append(f"  {_dot_quote(node_id)}{_dot_attrs(attrs)};")
+    for src, dst, attrs in edges:
+        lines.append(
+            f"  {_dot_quote(src)} -> {_dot_quote(dst)}{_dot_attrs(attrs)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def graphml_graph(name: str, nodes, edges) -> str:
+    """The same graph as GraphML (yEd / Gephi / NetworkX importable).
+
+    Attribute keys are declared once per (domain, name) with type
+    inferred from the first value seen (int/double/string)."""
+    nodes = list(nodes)
+    edges = list(edges)
+
+    def attr_type(value) -> str:
+        if isinstance(value, bool):
+            return "boolean"
+        if isinstance(value, int):
+            return "int"
+        if isinstance(value, float):
+            return "double"
+        return "string"
+
+    keys: dict[tuple[str, str], str] = {}
+    for _ident, attrs in nodes:
+        for attr, value in attrs.items():
+            keys.setdefault(("node", attr), attr_type(value))
+    for _src, _dst, attrs in edges:
+        for attr, value in attrs.items():
+            keys.setdefault(("edge", attr), attr_type(value))
+
+    key_ids = {pair: f"k{i}" for i, pair in enumerate(sorted(keys))}
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+    ]
+    for (domain, attr), key_id in sorted(key_ids.items(),
+                                         key=lambda item: item[1]):
+        lines.append(
+            f'  <key id="{key_id}" for="{domain}" '
+            f'attr.name="{_xml_escape(attr)}" '
+            f'attr.type="{keys[(domain, attr)]}"/>')
+    lines.append(
+        f'  <graph id="{_xml_escape(str(name))}" edgedefault="directed">')
+
+    def data_lines(domain: str, attrs: dict) -> list[str]:
+        out = []
+        for attr, value in attrs.items():
+            key_id = key_ids[(domain, attr)]
+            if isinstance(value, bool):
+                text = "true" if value else "false"
+            else:
+                text = _xml_escape(str(value))
+            out.append(f'      <data key="{key_id}">{text}</data>')
+        return out
+
+    for node_id, attrs in nodes:
+        if attrs:
+            lines.append(f'    <node id="{_xml_escape(str(node_id))}">')
+            lines.extend(data_lines("node", attrs))
+            lines.append("    </node>")
+        else:
+            lines.append(f'    <node id="{_xml_escape(str(node_id))}"/>')
+    for i, (src, dst, attrs) in enumerate(edges):
+        head = (f'    <edge id="e{i}" '
+                f'source="{_xml_escape(str(src))}" '
+                f'target="{_xml_escape(str(dst))}"')
+        if attrs:
+            lines.append(head + ">")
+            lines.extend(data_lines("edge", attrs))
+            lines.append("    </edge>")
+        else:
+            lines.append(head + "/>")
+    lines.append("  </graph>")
+    lines.append("</graphml>")
+    return "\n".join(lines)

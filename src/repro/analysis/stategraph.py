@@ -106,20 +106,24 @@ class StateGraph:
                 f"{len(self.transitions)} transitions")
 
     def to_dot(self) -> str:
-        """Graphviz rendering (for the figures)."""
-        lines = [f'digraph "{self.protocol}" {{', "  rankdir=LR;"]
+        """Graphviz rendering (for the figures); emission shared with
+        the atlas export via :mod:`repro.analysis.graphio`."""
+        from repro.analysis.graphio import dot_graph
+
         transient = set(self.transient_states)
-        for state in self.states:
-            shape = "ellipse" if state not in transient else "box"
-            style = "" if state not in transient else ', style="dashed"'
-            lines.append(f'  "{state}" [shape={shape}{style}];')
+        nodes = [
+            (state,
+             {"shape": "ellipse"} if state not in transient
+             else {"shape": "box", "style": "dashed"})
+            for state in self.states
+        ]
+        edges = []
         for transition in self.transitions:
-            style = ', style="dashed"' if transition.via_suspend else ""
-            lines.append(
-                f'  "{transition.source}" -> "{transition.target}" '
-                f'[label="{transition.message}"{style}];')
-        lines.append("}")
-        return "\n".join(lines)
+            attrs = {"label": transition.message}
+            if transition.via_suspend:
+                attrs["style"] = "dashed"
+            edges.append((transition.source, transition.target, attrs))
+        return dot_graph(self.protocol, nodes, edges)
 
 
 def _targets_of(handler: HandlerIR) -> list[tuple[str, bool]]:

@@ -140,6 +140,16 @@ class CheckOptions:
     profile: bool = False
     # Extra timeline samples every this many states inside large layers.
     profile_sample_every: int = 2000
+    # State-space atlas recording (repro.verify.atlas): True attaches a
+    # StateAtlas to CheckResult.atlas -- every explored transition plus
+    # per-state annotations (depth, protocol-state vector, occupancy,
+    # symmetry-orbit key).  Same contract as profile: False is
+    # observably free.
+    atlas: bool = False
+    # Bottom-k sketch caps: the atlas is exact below these and a
+    # uniform digest-keyed sample (with logged truncation) above.
+    atlas_state_cap: int = 100_000
+    atlas_edge_cap: int = 250_000
     events: Optional[EventGenerator] = None
     # Fault-bounded exploration: in every state the checker may also
     # drop or duplicate any in-flight message, up to this per-path
@@ -258,6 +268,12 @@ def check(target: Target,
         from repro.obs.profile import CheckProfiler
 
         profiler = CheckProfiler(sample_every=options.profile_sample_every)
+    atlas = None
+    if options.atlas:
+        from repro.verify.atlas import AtlasRecorder
+
+        atlas = AtlasRecorder(state_cap=options.atlas_state_cap,
+                              edge_cap=options.atlas_edge_cap)
 
     if options.workers < 0:
         raise ValueError("CheckOptions.workers must be >= 0")
@@ -281,6 +297,7 @@ def check(target: Target,
             fingerprint_states=options.fingerprints,
             fault_budget=options.faults,
             profiler=profiler,
+            atlas=atlas,
         ).run()
 
     if options.liveness:
@@ -303,6 +320,7 @@ def check(target: Target,
         resume=options.resume,
         fault_budget=options.faults,
         profiler=profiler,
+        atlas=atlas,
     ).run()
 
 

@@ -16,7 +16,9 @@ Subcommands::
     teapot analyze critical-path <trace> per-fault wait decomposition
     teapot analyze coverage ...          handler coverage (trace/verify)
     teapot analyze check-profile <p>     render a verify --profile-out file
-    teapot analyze diff <a> <b>          compare traces/coverage/profiles
+    teapot analyze atlas <atlas>         render a verify --atlas-out file
+    teapot analyze diff <a> <b>          compare traces/coverage/profiles/
+                                         atlases
     teapot graph <name|file.tea>         state graph (text or dot)
     teapot list                          registered protocols
 """
@@ -159,6 +161,7 @@ def cmd_verify(args) -> int:
         resume=args.resume,
         faults=_parse_fault_budget(args.faults),
         profile=bool(args.profile_out),
+        atlas=bool(args.atlas_out),
     )
     try:
         result = api.check(protocol, options)
@@ -191,6 +194,17 @@ def cmd_verify(args) -> int:
         print(f"wrote check profile to {args.profile_out} "
               f"(render with `teapot analyze check-profile "
               f"{args.profile_out}`)", file=sys.stderr)
+    if args.atlas_out and result.atlas is not None:
+        result.atlas.save(args.atlas_out)
+        note = (f"wrote state atlas to {args.atlas_out} (render with "
+                f"`teapot analyze atlas {args.atlas_out}`)")
+        if result.atlas.sampled:
+            trunc = result.atlas.truncation
+            note += (f"; truncated to a uniform sample: kept "
+                     f"{trunc['states_kept']}/{trunc['states_seen']} "
+                     f"states, {trunc['edges_kept']}/"
+                     f"{trunc['edges_seen']} edges")
+        print(note, file=sys.stderr)
     if args.progress and result.invariant_evals:
         evals = "  ".join(f"{name}={count}" for name, count
                           in result.invariant_evals.items())
@@ -407,7 +421,28 @@ def cmd_analyze_check_profile(args) -> int:
     return 0
 
 
+def cmd_analyze_atlas(args) -> int:
+    from repro.verify.atlas import (
+        atlas_to_dot,
+        atlas_to_graphml,
+        format_atlas,
+        load_atlas,
+    )
+
+    atlas = load_atlas(args.atlas)
+    if args.dot or args.graphml:
+        render = atlas_to_dot if args.dot else atlas_to_graphml
+        print(render(atlas, max_depth=args.max_depth,
+                     protocol_state=args.protocol_state,
+                     collapse_orbits=args.collapse_orbits))
+        return 0
+    print(format_atlas(atlas, top=args.top), end="")
+    return 0
+
+
 def cmd_analyze_diff(args) -> int:
+    import re
+
     from repro.obs.analyze import (
         TraceError,
         diff_coverage,
@@ -416,6 +451,7 @@ def cmd_analyze_diff(args) -> int:
         load_trace,
     )
     from repro.obs.profile import diff_profiles, load_profile
+    from repro.verify.atlas import diff_atlases, load_atlas
 
     def sniff(path: str) -> str:
         try:
@@ -429,6 +465,15 @@ def cmd_analyze_diff(args) -> int:
             return "coverage"
         if '"kind"' in head and '"teapot-check-profile"' in head:
             return "check-profile"
+        if '"kind"' in head and '"teapot-state-atlas"' in head:
+            return "state-atlas"
+        if '"kind"' in head and '"teapot-' in head:
+            match = re.search(r'"kind"\s*:\s*"([^"]+)"', head)
+            found = match.group(1) if match else "unknown"
+            raise TraceError(
+                f"{path}: unrecognised artifact kind {found!r}; diff "
+                "compares traces, coverage reports, check profiles, and "
+                "state atlases")
         return "trace"
 
     kind_a, kind_b = sniff(args.a), sniff(args.b)
@@ -442,6 +487,9 @@ def cmd_analyze_diff(args) -> int:
     elif kind_a == "check-profile":
         print(diff_profiles(load_profile(args.a),
                             load_profile(args.b)), end="")
+    elif kind_a == "state-atlas":
+        print(diff_atlases(load_atlas(args.a), load_atlas(args.b)),
+              end="")
     else:
         print(diff_traces(load_trace(args.a), load_trace(args.b)),
               end="")
@@ -553,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "check-profile JSON (render with `teapot analyze "
                         "check-profile`, compare with `teapot analyze "
                         "diff`); off = zero overhead")
+    p.add_argument("--atlas-out", metavar="PATH",
+                   help="record every explored state and transition and "
+                        "write the state-atlas JSON (render with "
+                        "`teapot analyze atlas`: SCC/deadlock-basin "
+                        "structure, depth profile, residence heatmap, "
+                        "symmetry-orbit estimate, POR headroom); off = "
+                        "zero overhead")
     _add_opt_flags(p)
     p.set_defaults(fn=cmd_verify)
 
@@ -674,8 +729,35 @@ def build_parser() -> argparse.ArgumentParser:
     q.set_defaults(fn=cmd_analyze_check_profile)
 
     q = analyses.add_parser(
-        "diff", help="compare two traces, coverage reports, or check "
-                     "profiles")
+        "atlas", help="render a `verify --atlas-out` export: SCCs and "
+                      "deadlock basins, depth/degree profiles, the "
+                      "residence heatmap, the symmetry-orbit estimate, "
+                      "and POR headroom; or export the explored graph "
+                      "as DOT/GraphML")
+    q.add_argument("atlas", help="JSON file from verify --atlas-out")
+    q.add_argument("--top", type=int, default=10, metavar="N",
+                   help="rows in the report tables (default 10)")
+    q.add_argument("--dot", action="store_true",
+                   help="emit the *explored* global state graph as "
+                        "Graphviz instead of the report (for the "
+                        "syntactic per-machine graph, see `teapot graph "
+                        "--dot`)")
+    q.add_argument("--graphml", action="store_true",
+                   help="emit the explored graph as GraphML instead of "
+                        "the report")
+    q.add_argument("--max-depth", type=int, default=None, metavar="D",
+                   help="export filter: only states at BFS depth <= D")
+    q.add_argument("--protocol-state", metavar="NAME",
+                   help="export filter: only states where some node is "
+                        "in this protocol state (e.g. Home_Excl)")
+    q.add_argument("--collapse-orbits", action="store_true",
+                   help="export one node per symmetry orbit (collapses "
+                        "node-permutation-equivalent states)")
+    q.set_defaults(fn=cmd_analyze_atlas)
+
+    q = analyses.add_parser(
+        "diff", help="compare two traces, coverage reports, check "
+                     "profiles, or state atlases")
     q.add_argument("a")
     q.add_argument("b")
     q.set_defaults(fn=cmd_analyze_diff)
@@ -686,7 +768,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(e.g. Home_)")
     p.add_argument("--contract", action="store_true",
                    help="contract transient states (the idealized machine)")
-    p.add_argument("--dot", action="store_true", help="emit Graphviz")
+    p.add_argument("--dot", action="store_true",
+                   help="emit Graphviz (the *syntactic* per-machine "
+                        "graph; for the explored global state space, "
+                        "see `teapot analyze atlas --dot`)")
     p.set_defaults(fn=cmd_graph)
 
     p = subparsers.add_parser("list", help="list registered protocols")

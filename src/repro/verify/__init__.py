@@ -22,6 +22,12 @@ hash-compacted via :mod:`repro.verify.fingerprint`) and
 hash-partitioned across worker processes, with checkpoint/resume).
 """
 
+from repro.verify.atlas import (
+    AtlasRecorder,
+    OrbitCanonicalizer,
+    StateAtlas,
+    load_atlas,
+)
 from repro.verify.checker import (
     CheckResult,
     FingerprintCollisionError,
@@ -52,6 +58,10 @@ __all__ = [
     "replay_labels",
     "fingerprint",
     "encode_state",
+    "AtlasRecorder",
+    "OrbitCanonicalizer",
+    "StateAtlas",
+    "load_atlas",
     "EventGenerator",
     "StacheEvents",
     "CasEvents",

@@ -175,6 +175,9 @@ class CheckResult:
     # When the run was profiled: the CheckProfile artifact
     # (repro.obs.profile), else None.
     profile: Optional[object] = None
+    # When the run recorded an atlas: the StateAtlas artifact
+    # (repro.verify.atlas), else None.
+    atlas: Optional[object] = None
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -271,6 +274,7 @@ class ModelChecker:
         fingerprint_fn=None,
         fault_budget=None,
         profiler=None,
+        atlas=None,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -330,6 +334,13 @@ class ModelChecker:
         # reads clocks -- verdicts, state counts, fingerprints, and
         # checkpoints are identical either way (tests/test_profile.py).
         self.profiler = profiler
+        # State-space atlas recording (repro.verify.atlas.AtlasRecorder),
+        # or None.  Same pure-observer contract as the profiler: absent,
+        # the hot loop runs the exact code it always ran; armed, it only
+        # records what the exploration already computes (tests/
+        # test_atlas.py pins byte-identical verdicts, fingerprint
+        # streams, and checkpoints either way).
+        self.atlas = atlas
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
         self._progress_window: deque = deque(maxlen=8)
@@ -517,6 +528,11 @@ class ModelChecker:
         # state itself or, in fingerprint mode, by its 64-bit digest.
         fp = self.fingerprint_fn if self.fingerprint_states else None
         initial_key = fp(initial) if fp else initial
+        atlas = self.atlas
+        if atlas is not None:
+            atlas.bind(self.protocol, self.n_nodes, self.n_blocks)
+            atlas.visit(initial, 0,
+                        fp=initial_key if fp is not None else None)
         visited = {initial_key}
         parents: dict = {initial_key: (None, "<initial>")}
         depth: dict = {initial_key: 0}
@@ -562,6 +578,8 @@ class ModelChecker:
                     container_bytes=(sys.getsizeof(visited)
                                      + sys.getsizeof(parents)))
                 res.profile = prof.build(res)
+            if atlas is not None:
+                res.atlas = atlas.build(res)
             return res
 
         def trace_to(key, last_label: str) -> list[str]:
@@ -585,6 +603,8 @@ class ModelChecker:
             state, key = frontier.popleft()
             found_successor = False
             out_degree = 0
+            if atlas is not None:
+                atlas.expand(state, fp=key if fp is not None else None)
             try:
                 # Profiled runs wrap the successor generator so the time
                 # spent *generating* (handler dispatch included) is
@@ -605,6 +625,14 @@ class ModelChecker:
                         succ_key = fp(successor)
                         prof.add_phase("fingerprint",
                                        time.perf_counter() - t0)
+                    if atlas is not None:
+                        # Every generated successor is an edge, even when
+                        # its target was already visited -- record before
+                        # the dedup check.  Reuses the fingerprint when
+                        # one is already on hand.
+                        succ_fp = atlas.edge(
+                            label, successor,
+                            fp=succ_key if fp is not None else None)
                     if prof is not None:
                         t0 = time.perf_counter()
                     if succ_key in visited:
@@ -625,6 +653,8 @@ class ModelChecker:
                     if self.check_progress:
                         graph.setdefault(successor, [])
                     depth[succ_key] = depth[key] + 1
+                    if atlas is not None:
+                        atlas.visit(successor, depth[succ_key], fp=succ_fp)
                     if prof is not None:
                         prof.add_phase("visited", time.perf_counter() - t0)
                         if (depth[succ_key] > max_depth

@@ -52,6 +52,19 @@ class GlobalState:
     # checking and keeps fingerprints/checkpoints byte-compatible.
     faults: tuple = (0, 0)
 
+    def __hash__(self):
+        # Hashing recurses over every view, message, and queue; the
+        # checker's visited set (and any observer keyed by state) asks
+        # for it several times per snapshot, so compute once.  Same
+        # basis as the dataclass-generated hash, hence the same
+        # equal-implies-equal-hash contract.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.blocks, self.apps, self.channels,
+                           self.faults))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def channel(self, src: int, dst: int) -> tuple:
         return self.channels[src][dst]
 

@@ -116,6 +116,9 @@ def _worker_main(conn, worker_id: int, n_workers: int,
     checker._named_invariants = [
         (checker._invariant_name(inv), inv) for inv in checker.invariants]
     fp_fn = checker.fingerprint_fn
+    atlas = checker.atlas
+    if atlas is not None:
+        atlas.bind(checker.protocol, checker.n_nodes, checker.n_blocks)
 
     visited: set[int] = set()          # fps of states this shard owns
     parents: dict[int, tuple] = {}     # fp -> (parent fp | None, label)
@@ -155,6 +158,8 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 parents[sfp] = (pfp, label)
                 if depth > max_depth:
                     max_depth = depth
+                if atlas is not None:
+                    atlas.visit(state, depth, fp=sfp)
                 if prof is not None:
                     prof.add_phase("visited", time.perf_counter() - t0)
                     t0 = time.perf_counter()
@@ -169,6 +174,8 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             for sfp, state, depth in accepted:
                 found_successor = False
                 out_degree = 0
+                if atlas is not None:
+                    atlas.expand(state, fp=sfp)
                 try:
                     successors = checker._successors(state)
                     if prof is not None:
@@ -185,6 +192,11 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                             prof.add_phase("fingerprint",
                                            time.perf_counter() - t0)
                             t0 = time.perf_counter()
+                        if atlas is not None:
+                            # An edge per generated successor, even when
+                            # its target was already routed -- the send
+                            # dedupe below is not an edge dedupe.
+                            atlas.edge(label, successor, fp=fp)
                         if fp in known:
                             if prof is not None:
                                 prof.add_phase(
@@ -248,6 +260,7 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 "handler_fires": dict(checker._handler_fires),
                 "invariant_evals": dict(checker._invariant_evals),
                 "profile": profile_payload,
+                "atlas": atlas.payload() if atlas is not None else None,
             }))
             conn.close()
             return
@@ -288,6 +301,7 @@ class ParallelChecker:
         fingerprint_fn=None,
         fault_budget=None,
         profiler=None,
+        atlas=None,
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -302,6 +316,12 @@ class ParallelChecker:
         # template's copy of the same object but accumulate into their
         # own process memory, shipping totals back in the finish reply.
         self.profiler = profiler
+        # Same inheritance story for the atlas recorder: each forked
+        # worker records its shard's visits and edges privately and
+        # ships bottom-k sketches back in the finish reply; merging
+        # per-worker sketches is exactly the global sketch, so the
+        # built atlas is identical at any worker count.
+        self.atlas = atlas
         self._progress_window: deque = deque(maxlen=8)
         # One fully configured serial checker serves as the template the
         # forked workers inherit, and as the replay engine for validating
@@ -313,7 +333,7 @@ class ParallelChecker:
             channel_cap=channel_cap,
             interpreter_factory=interpreter_factory,
             fingerprint_states=True, fingerprint_fn=fingerprint_fn,
-            fault_budget=fault_budget, profiler=profiler)
+            fault_budget=fault_budget, profiler=profiler, atlas=atlas)
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -618,6 +638,8 @@ class ParallelChecker:
                     handler_fires[name] = handler_fires.get(name, 0) + count
                 if prof is not None:
                     prof.merge_worker(stats.get("profile"))
+                if self.atlas is not None:
+                    self.atlas.merge(stats.get("atlas"))
             for proc in procs:
                 proc.join(timeout=30)
 
@@ -652,6 +674,10 @@ class ParallelChecker:
             )
             if prof is not None:
                 result.profile = prof.build(result)
+            if self.atlas is not None:
+                self.atlas.bind(template.protocol, template.n_nodes,
+                                template.n_blocks)
+                result.atlas = self.atlas.build(result)
             return result
         finally:
             for proc in procs:

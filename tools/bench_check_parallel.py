@@ -29,7 +29,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from bench_common import bench_meta, write_bench  # noqa: E402
+from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.verify import (  # noqa: E402
     ModelChecker,
@@ -64,22 +64,26 @@ def bench_row(label, n_nodes, n_blocks, reorder, worker_counts, repeats):
     verdicts = set()
     for workers in worker_counts:
         name = "serial" if workers == 0 else f"workers_{workers}"
-        best = float("inf")
+        samples = []
         result = None
         for _ in range(repeats):
             result, elapsed = run_config(n_nodes, n_blocks, reorder, workers)
-            best = min(best, elapsed)
-        states_per_s = result.states_explored / best if best else 0.0
+            samples.append(elapsed)
+        row = timing_row(samples)
+        median = row["wall_seconds"]
+        states_per_s = result.states_explored / median if median else 0.0
         verdicts.add((result.ok, result.states_explored, result.transitions))
-        rows[name] = {
-            "wall_seconds": round(best, 4),
+        row.update({
             "states": result.states_explored,
             "transitions": result.transitions,
             "max_depth": result.max_depth,
             "verdict": "PASS" if result.ok else "FAIL",
             "states_per_second": round(states_per_s, 1),
-        }
-        print(f"  {name:12s} {best:8.3f}s  states={result.states_explored}"
+        })
+        rows[name] = row
+        print(f"  {name:12s} {median:8.3f}s "
+              f"(+/-{row['wall_spread_pct']:.1f}%)  "
+              f"states={result.states_explored}"
               f"  {states_per_s:10.1f} states/s")
     if len(verdicts) != 1:
         raise SystemExit(f"configurations diverged: {sorted(verdicts)}")
@@ -115,7 +119,8 @@ def main() -> int:
     report.update({
         "protocol": PROTOCOL,
         "repeats": args.repeats,
-        "timer": "best-of-repeats wall time around checker.run()",
+        "timer": "median-of-repeats wall time around checker.run(), "
+                 "min/max spread per row",
         "rows": tables,
         "note": "verdict, state count, and transition count are asserted "
                 "identical across all configurations; speedup requires "

@@ -1,11 +1,16 @@
 """Measure the exploration profiler's overhead and the checker baseline.
 
 Runs the Table 3 LCM MCC verification row (2 nodes, 1 address, 1
-reordering) three ways -- profiler absent, profiler armed, and armed
-under the 2-worker parallel checker -- and reports states/s per
-configuration.  Verdict, state count, and transition count must be
-identical in all three (the profiler is a pure observer; armed it only
-reads clocks); the script fails loudly if they are not.
+reordering) four ways -- instrumentation absent, profiler armed,
+profiler armed under the 2-worker parallel checker, and the state
+atlas armed -- and reports states/s per configuration.  Verdict, state
+count, and transition count must be identical in all four (profiler
+and atlas are pure observers); the script fails loudly if they are
+not.
+
+Timing is median-of-repeats with the min/max spread reported per row:
+comparing best-of minima lets the noisier configuration dip lower and
+can show a pure observer as *negative* overhead.
 
 The ``baseline.states_per_second`` number is the regression gate
 ``tools/bench_compare.py`` tracks in CI: every checker-performance PR
@@ -26,7 +31,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from bench_common import bench_meta, write_bench  # noqa: E402
+from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
 from repro.api import CheckOptions, check  # noqa: E402
 
 PROTOCOL = "lcm_mcc"
@@ -34,44 +39,46 @@ ROW = dict(nodes=2, addresses=1, reorder=1)
 
 
 def bench(options, repeats):
-    """Best-of-repeats wall time; returns (result, seconds)."""
-    best = float("inf")
+    """Wall-time samples across repeats; returns (result, samples)."""
+    samples = []
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = check(PROTOCOL, options)
-        best = min(best, time.perf_counter() - start)
-    return result, best
+        samples.append(time.perf_counter() - start)
+    return result, samples
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("-o", "--output",
                         default="BENCH_check_profile.json")
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
     configs = {
         "baseline": CheckOptions(**ROW),
         "profiled": CheckOptions(**ROW, profile=True),
         "profiled_workers_2": CheckOptions(**ROW, workers=2, profile=True),
+        "atlas_armed": CheckOptions(**ROW, atlas=True),
     }
     rows = {}
     outcomes = set()
     profile = None
     for name, options in configs.items():
-        result, seconds = bench(options, args.repeats)
+        result, samples = bench(options, args.repeats)
         outcomes.add((result.ok, result.states_explored, result.transitions))
-        rows[name] = {
-            "wall_seconds": round(seconds, 4),
-            "states": result.states_explored,
-            "states_per_second": round(
-                result.states_explored / seconds, 1) if seconds else 0.0,
-        }
+        row = timing_row(samples)
+        seconds = row["wall_seconds"]
+        row["states"] = result.states_explored
+        row["states_per_second"] = round(
+            result.states_explored / seconds, 1) if seconds else 0.0
+        rows[name] = row
         if name == "profiled":
             profile = result.profile
-        print(f"{name:20s} {seconds:8.4f}s  "
-              f"{rows[name]['states_per_second']:10.1f} states/s")
+        print(f"{name:20s} {seconds:8.4f}s "
+              f"(+/-{row['wall_spread_pct']:.1f}%)  "
+              f"{row['states_per_second']:10.1f} states/s")
     if len(outcomes) != 1:
         raise SystemExit(f"configurations diverged: {sorted(outcomes)}")
 
@@ -85,16 +92,19 @@ def main() -> int:
         "protocol": PROTOCOL,
         "row": dict(ROW),
         "repeats": args.repeats,
-        "timer": "best-of-repeats wall time around api.check()",
+        "timer": "median-of-repeats wall time around api.check(), "
+                 "min/max spread per row",
         "configs": rows,
         # The armed serial run's phase split, so the committed artifact
         # doubles as a where-do-the-cycles-go snapshot for the ROADMAP
         # hot-loop work.
         "profiled_phases": dict(profile.phases) if profile else {},
         "note": "verdict/states/transitions are asserted identical in "
-                "all configurations; the profiler only reads clocks -- "
-                "overhead is host wall time.  baseline.states_per_second "
-                "is the CI regression gate (bench_compare.py).",
+                "all configurations; profiler and atlas are pure "
+                "observers -- overhead is host wall time, and deltas "
+                "within wall_spread_pct are noise.  "
+                "baseline.states_per_second is the CI regression gate "
+                "(bench_compare.py).",
     })
     write_bench(args.output, report)
     return 0

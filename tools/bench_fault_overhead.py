@@ -3,7 +3,8 @@
 Runs the Table 1 gauss workload under Stache three ways -- no fault
 plan at all, a fault plan armed but injecting nothing (empty rule
 list), and the recovery layer armed on a reliable network -- and
-reports wall time per configuration.  Simulated cycles must come out
+reports wall time per configuration (median-of-repeats, with the
+min/max spread so noise is visible).  Simulated cycles must come out
 identical in all three (an idle fault plan and an idle watchdog are
 pure bookkeeping); the script fails loudly if they do not.
 
@@ -21,7 +22,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from bench_common import bench_meta, write_bench  # noqa: E402
+from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
 from repro.faults import FaultPlan, RecoveryConfig  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.tempest.machine import Machine, MachineConfig  # noqa: E402
@@ -42,11 +43,11 @@ def run_once(protocol, programs, n_blocks, faults, recovery):
 
 
 def bench(make_faults, make_recovery):
-    """Best-of-REPEATS wall time; returns (cycles, seconds)."""
+    """Wall-time samples over REPEATS; returns (cycles, samples)."""
     factory, blocks_fn = STACHE_WORKLOADS["gauss"]
     protocol = compile_named_protocol("stache")
     cycles = None
-    best = float("inf")
+    samples = []
     for _ in range(REPEATS):
         programs = factory(n_nodes=N_NODES)
         run_cycles, elapsed = run_once(
@@ -57,8 +58,8 @@ def bench(make_faults, make_recovery):
         elif cycles != run_cycles:
             raise SystemExit(f"non-deterministic run: {cycles} vs "
                              f"{run_cycles} cycles")
-        best = min(best, elapsed)
-    return cycles, best
+        samples.append(elapsed)
+    return cycles, samples
 
 
 def main() -> int:
@@ -75,11 +76,13 @@ def main() -> int:
     rows = {}
     cycles_seen = set()
     for name, (make_faults, make_recovery) in configs.items():
-        cycles, seconds = bench(make_faults, make_recovery)
+        cycles, samples = bench(make_faults, make_recovery)
         cycles_seen.add(cycles)
-        rows[name] = {"wall_seconds": round(seconds, 4),
-                      "cycles": cycles}
-        print(f"{name:20s} {seconds:8.4f}s  cycles={cycles}")
+        row = timing_row(samples)
+        row["cycles"] = cycles
+        rows[name] = row
+        print(f"{name:20s} {row['wall_seconds']:8.4f}s "
+              f"(+/-{row['wall_spread_pct']:.1f}%)  cycles={cycles}")
     if len(cycles_seen) != 1:
         raise SystemExit(f"cycle counts diverged: {sorted(cycles_seen)}")
 
@@ -92,11 +95,13 @@ def main() -> int:
     report.update({
         "n_nodes": N_NODES,
         "repeats": REPEATS,
-        "timer": "best-of-repeats wall time, machine.run() only",
+        "timer": "median-of-repeats wall time, machine.run() only, "
+                 "min/max spread per row",
         "configs": rows,
         "note": "cycles are identical by construction; an idle fault "
                 "plan and an idle watchdog change no simulated "
-                "behaviour, only host wall time",
+                "behaviour, only host wall time -- deltas within "
+                "wall_spread_pct are noise",
     })
     write_bench(args.output, report)
     return 0

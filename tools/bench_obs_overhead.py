@@ -2,9 +2,10 @@
 
 Runs the Table 1 gauss workload under Stache three ways -- unobserved,
 with a NullSink observer, and with full JSONL tracing plus metrics --
-and reports wall time per configuration.  Simulated cycles must come
-out identical in all three (the obs layer is a pure observer); the
-script fails loudly if they do not.
+and reports wall time per configuration (median-of-repeats, with the
+min/max spread so noise is visible).  Simulated cycles must come out
+identical in all three (the obs layer is a pure observer); the script
+fails loudly if they do not.
 
 Usage::
 
@@ -21,7 +22,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from bench_common import bench_meta, write_bench  # noqa: E402
+from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
 from repro.obs import JsonlSink, MetricsRegistry, Observer  # noqa: E402
 from repro.protocols import compile_named_protocol  # noqa: E402
 from repro.tempest.machine import Machine, MachineConfig  # noqa: E402
@@ -42,11 +43,11 @@ def run_once(protocol, programs, n_blocks, observer):
 
 
 def bench(make_observer):
-    """Best-of-REPEATS wall time; returns (cycles, seconds, extras)."""
+    """Wall-time samples over REPEATS; returns (cycles, samples, extras)."""
     factory, blocks_fn = STACHE_WORKLOADS["gauss"]
     protocol = compile_named_protocol("stache")
     cycles = None
-    best = float("inf")
+    samples = []
     events = 0
     for _ in range(REPEATS):
         programs = factory(n_nodes=N_NODES)
@@ -62,8 +63,8 @@ def bench(make_observer):
         elif cycles != run_cycles:
             raise SystemExit(f"non-deterministic run: {cycles} vs "
                              f"{run_cycles} cycles")
-        best = min(best, elapsed)
-    return cycles, best, events
+        samples.append(elapsed)
+    return cycles, samples, events
 
 
 def main() -> int:
@@ -80,13 +81,15 @@ def main() -> int:
     rows = {}
     cycles_seen = set()
     for name, make_observer in configs.items():
-        cycles, seconds, events = bench(make_observer)
+        cycles, samples, events = bench(make_observer)
         cycles_seen.add(cycles)
-        rows[name] = {"wall_seconds": round(seconds, 4),
-                      "cycles": cycles}
+        row = timing_row(samples)
+        row["cycles"] = cycles
         if events:
-            rows[name]["events"] = events
-        print(f"{name:20s} {seconds:8.4f}s  cycles={cycles}")
+            row["events"] = events
+        rows[name] = row
+        print(f"{name:20s} {row['wall_seconds']:8.4f}s "
+              f"(+/-{row['wall_spread_pct']:.1f}%)  cycles={cycles}")
     if len(cycles_seen) != 1:
         raise SystemExit(f"cycle counts diverged: {sorted(cycles_seen)}")
 
@@ -99,10 +102,12 @@ def main() -> int:
     report.update({
         "n_nodes": N_NODES,
         "repeats": REPEATS,
-        "timer": "best-of-repeats wall time, machine.run() only",
+        "timer": "median-of-repeats wall time, machine.run() only, "
+                 "min/max spread per row",
         "configs": rows,
         "note": "cycles are identical by construction; overhead is "
-                "host wall time only",
+                "host wall time only, and deltas within "
+                "wall_spread_pct are noise",
     })
     write_bench(args.output, report)
     return 0
