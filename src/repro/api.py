@@ -127,6 +127,10 @@ class CheckOptions:
     # Serial hash compaction: key the visited set by 64-bit fingerprints.
     # The parallel checker always fingerprints.
     fingerprints: bool = False
+    # Successor engine: "fast" (mutate-and-undo journals, interned
+    # states, memoized action effects) or "legacy" (the original
+    # freeze-per-successor path, kept as a differential oracle).
+    engine: str = "fast"
     progress: bool = False
     progress_every: int = 10_000
     progress_stream: Optional[IO] = None
@@ -298,6 +302,7 @@ def check(target: Target,
             fault_budget=options.faults,
             profiler=profiler,
             atlas=atlas,
+            engine=options.engine,
         ).run()
 
     if options.liveness:
@@ -321,6 +326,7 @@ def check(target: Target,
         fault_budget=options.faults,
         profiler=profiler,
         atlas=atlas,
+        engine=options.engine,
     ).run()
 
 

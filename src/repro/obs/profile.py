@@ -164,6 +164,9 @@ class CheckProfiler:
             totals["accepted"] += entry["accepted"]
 
     def add_cross_shard(self, entries: int, payload_bytes: int) -> None:
+        """Fingerprint-only exchange: ``entries`` counts routed metadata
+        candidates (``entries=0`` for an adopt batch that ships states),
+        ``payload_bytes`` covers both metadata and adopted states."""
         self.cross_shard_entries += entries
         self.cross_shard_bytes += payload_bytes
 
@@ -490,8 +493,8 @@ def format_profile(profile: CheckProfile, top: int = 10) -> str:
                 f"accepted={worker['accepted']}")
         cross = par["cross_shard"]
         lines.append(
-            f"  cross-shard: {cross['entries']} states shipped, "
-            f"~{cross['bytes'] / 1024:.1f} KiB")
+            f"  cross-shard: {cross['entries']} candidates routed, "
+            f"~{cross['bytes'] / 1024:.1f} KiB (metadata + adopted states)")
     return "\n".join(lines) + "\n"
 
 

@@ -106,17 +106,33 @@ def load_protocol_source(name: str) -> str:
     return (resources.files(__package__) / entry.filename).read_text()
 
 
+# Registered-protocol sources never change within a process, so compiling
+# the same (name, opt level, flavor) twice always yields an equivalent
+# CompiledProtocol.  Cache it: api.check() and the bench/CLI paths compile
+# per call, and compilation otherwise dominates small verification runs.
+# Cached objects are shared -- callers must not mutate them (code that
+# wants a private protocol to patch should go through compile_source).
+_COMPILE_CACHE: dict = {}
+
+
 def compile_named_protocol(
     name: str,
     opt_level: OptLevel = OptLevel.O2,
     flavor: Optional[Flavor] = None,
 ) -> CompiledProtocol:
-    """Compile a registered protocol by name."""
+    """Compile a registered protocol by name (memoised per config)."""
     entry = PROTOCOLS[name]
-    return compile_source(
+    resolved_flavor = flavor if flavor is not None else entry.flavor
+    key = (name, opt_level, resolved_flavor)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    compiled = compile_source(
         load_protocol_source(name),
         opt_level=opt_level,
-        flavor=flavor if flavor is not None else entry.flavor,
+        flavor=resolved_flavor,
         initial_states=entry.initial_states,
         filename=entry.filename,
     )
+    _COMPILE_CACHE[key] = compiled
+    return compiled

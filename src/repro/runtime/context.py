@@ -44,6 +44,18 @@ class Message:
     data: Optional[tuple] = None
     seq: Optional[int] = None
 
+    def __hash__(self):
+        # Messages sit inside channel tuples and deferred queues, so the
+        # checker hashes each one many times (visited-set inserts, intern
+        # tables, fingerprint caches).  Same basis as the dataclass-
+        # generated hash, computed once.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.tag, self.block, self.src, self.dst,
+                           self.payload, self.data, self.seq))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __repr__(self) -> str:
         parts = [f"{self.tag} blk={self.block} {self.src}->{self.dst}"]
         if self.payload:

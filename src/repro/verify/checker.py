@@ -12,6 +12,7 @@ from __future__ import annotations
 import re
 import sys
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import IO, Optional
@@ -25,13 +26,80 @@ from repro.verify.events import EventGenerator, StacheEvents
 from repro.verify.fingerprint import fingerprint
 from repro.verify.invariants import Invariant, standard_invariants
 from repro.verify.model import (
+    ActionContext,
+    ActionEffects,
+    ActionScratch,
+    AppView,
     CheckerContext,
     CheckerViolation,
     GlobalState,
     MutableState,
     fault_for_access,
     initial_global_state,
+    intern_channel,
+    intern_message,
 )
+
+# Sentinels: "leave the app generator alone" for _build_successor, and
+# "no cached entry" for the dispatch table (None is a valid cached value
+# there, meaning "no handler for this tag").
+_KEEP_GEN = object()
+_NO_ENTRY = object()
+
+# The effects of an action that touched nothing (an application hit:
+# only the event generator advances).  Lets the hit path share the
+# successor memo in _successor_for.
+_NO_EFFECTS = ActionEffects((), (), None, (), None)
+
+# Process-global fast-engine caches, shared by every checker over the
+# same compiled protocol:
+#
+#   effects  (node, BlockView, Message, blocked_on) -> ActionEffects.
+#            An action's effects are a pure function of those inputs
+#            *given* the protocol, the execution engine, and the home
+#            map -- and the home map is always ``block % n_nodes`` --
+#            so caches are scoped by (interpreter_factory, n_nodes)
+#            under the protocol.
+#   succ     (parent, node, effects, gen, removed) -> successor state.
+#            Replaying effects is itself deterministic, so repeated
+#            explorations of the same graph (bench repeats, trace
+#            replays, parallel workers re-expanding) skip tuple surgery
+#            entirely.
+#   intern   state -> canonical state.  Canonical states carry their
+#            cached hash and make visited-set equality an identity hit.
+#   verdicts invariant-tuple -> {state -> (message, n_evaluated)}.
+#            An invariant is a pure predicate of (state, protocol), and
+#            each run evaluates it once per state anyway, so caching
+#            verdicts across runs changes nothing observable (the
+#            evaluation counts are replayed from n_evaluated).
+#
+# The registry holds protocols via weakrefs (CompiledProtocol is an
+# unhashable mutable-eq dataclass, hence the id keying plus finalizer):
+# a protocol's caches -- and every state/effect they pin -- die with it.
+# Like the compile cache, this assumes compiled protocols are not
+# mutated after use.
+_ENGINE_CACHES: dict = {}
+
+
+def _engine_caches_for(protocol, interpreter_factory,
+                       n_nodes: int) -> tuple:
+    entry = _ENGINE_CACHES.get(id(protocol))
+    if entry is None or entry[0]() is not protocol:
+        ref = weakref.ref(
+            protocol,
+            lambda _r, key=id(protocol): _ENGINE_CACHES.pop(key, None))
+        entry = _ENGINE_CACHES[id(protocol)] = (ref, {})
+    per_protocol = entry[1]
+    key = (interpreter_factory, n_nodes)
+    caches = per_protocol.get(key)
+    if caches is None:
+        caches = per_protocol[key] = ({}, {}, {}, {})
+    return caches
+
+
+# fault_for_access is a pure function of (access tag value, op kind);
+# memoised because the hot loop consults it per application choice.
+_FAULT_MEMO: dict = {}
 
 
 class TraceReplayError(Exception):
@@ -275,6 +343,7 @@ class ModelChecker:
         fault_budget=None,
         profiler=None,
         atlas=None,
+        engine: str = "fast",
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -341,14 +410,341 @@ class ModelChecker:
         # test_atlas.py pins byte-identical verdicts, fingerprint
         # streams, and checkpoints either way).
         self.atlas = atlas
+        # Successor engine: "fast" (mutate-and-undo journal + effect
+        # replay, the default) or "legacy" (the pre-refactor
+        # copy-the-world path, kept as the differential-test reference).
+        if engine not in ("fast", "legacy"):
+            raise ValueError(f"unknown successor engine {engine!r}")
+        self.engine = engine
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
         self._progress_window: deque = deque(maxlen=8)
+        # Fast-engine memo tables (harmless when engine="legacy");
+        # shared process-wide between checkers over the same
+        # protocol/engine -- see _engine_caches_for.
+        (self._action_cache, self._succ_cache, self._state_intern,
+         self._invariant_verdicts) = _engine_caches_for(
+            protocol, interpreter_factory, n_nodes)
+        # Bound to one invariant-tuple's verdict map by run(); None
+        # outside a fast-engine run (legacy runs and replay clones
+        # evaluate directly).
+        self._inv_verdicts: Optional[dict] = None
+        # (state_name, tag) -> handler-fire key or None, so _count_fire
+        # stops re-resolving DEFAULT dispatch per expansion:
+        self._fire_key_table: dict = {}
+        # (node, gen) -> tuple of event-generator choices:
+        self._choice_cache: dict = {}
+        # (Message, src, dst, index) -> delivery label string:
+        self._label_cache: dict = {}
 
     def home_of(self, block: int) -> int:
         return block % self.n_nodes
 
-    # -- rule application ---------------------------------------------------
+    # -- rule application (fast engine) -------------------------------------
+    #
+    # The default engine never deep-copies a state.  One atomic action is
+    # a deterministic function of (node, the acting block's view, the
+    # message, the node's blocked-on marker): every read a handler can
+    # make goes through the ProtocolContext block-record accessors on the
+    # current message's block, and every write lands on the acting node
+    # (see ActionScratch).  So the checker journals an action once via
+    # mutate-and-undo (ActionScratch + ActionContext), distils it to an
+    # ActionEffects, and caches it under that 4-tuple; subsequent
+    # expansions replay the effects as tuple surgery on interned
+    # substructures -- no MutableState copy, no handler dispatch, no
+    # full-state freeze.
+
+    def _action_effects(self, state: GlobalState, node: int,
+                        message: Message, blocked_before) -> ActionEffects:
+        """Cached outcome of dispatching ``message`` on ``node``.
+
+        Bumps ``handler_fires`` exactly as executing the action would
+        (the recording path counts while it runs; the replay path counts
+        from the recorded fire sequence)."""
+        if self.profiler is None:
+            key = (node, state.blocks[node][message.block], message,
+                   blocked_before)
+            cache = self._action_cache
+            effects = cache.get(key)
+            if effects is not None:
+                fires = self._handler_fires
+                for fire in effects.fires:
+                    fires[fire] = fires.get(fire, 0) + 1
+                return effects
+            effects = self._record_action(state, node, message,
+                                          blocked_before)
+            cache[key] = effects
+            return effects
+        # Profiled runs execute every action for real so per-dispatch
+        # costs stay attributable; a cache hit would report zero time.
+        return self._record_action(state, node, message, blocked_before)
+
+    def _record_action(self, state: GlobalState, node: int,
+                       message: Message, blocked_before) -> ActionEffects:
+        """Journal one atomic action (dispatch plus queue redelivery)."""
+        prof = self.profiler
+        scratch = ActionScratch(state, node)
+        scratch.blocked_on = blocked_before
+        ctx = ActionContext(self.protocol, scratch, self.home_of)
+        interp = self.interpreter_factory(self.protocol, ctx)
+        fires: list = []
+        try:
+            record = scratch.record(message.block)
+            record["state_changed"] = False
+            key = self._count_fire(record["state_name"], message.tag)
+            if key is not None:
+                fires.append(key)
+            ctx.begin(message)
+            if prof is None:
+                interp.dispatch()
+            else:
+                t0 = time.perf_counter()
+                interp.dispatch()
+                prof.add_dispatch(key, time.perf_counter() - t0)
+            while record["state_changed"] and record["queue"]:
+                record["state_changed"] = False
+                drained = record["queue"]
+                record["queue"] = []
+                for deferred in drained:
+                    key = self._count_fire(record["state_name"],
+                                           deferred.tag)
+                    if key is not None:
+                        fires.append(key)
+                    ctx.begin(deferred)
+                    if prof is None:
+                        interp.dispatch()
+                    else:
+                        t0 = time.perf_counter()
+                        interp.dispatch()
+                        prof.add_dispatch(key, time.perf_counter() - t0)
+        except CheckerViolation as violation:
+            return ActionEffects((), (), blocked_before, tuple(fires),
+                                 violation.message)
+        return ActionEffects(scratch.changed_views(),
+                             tuple(scratch.sends), scratch.blocked_on,
+                             tuple(fires), None)
+
+    def _build_successor(self, state: GlobalState, node: int,
+                         effects: ActionEffects, gen=_KEEP_GEN,
+                         removed=None) -> GlobalState:
+        """Replay recorded effects onto ``state``: rebuild only the rows
+        an action touched, reuse every untouched tuple, and carry the
+        congestion count forward incrementally."""
+        cap = self.channel_cap
+        delta = 0
+        blocks = state.blocks
+        if effects.views:
+            row = list(blocks[node])
+            for block, view in effects.views:
+                before = row[block]
+                if (len(view.queue) >= cap) != (len(before.queue) >= cap):
+                    delta += 1 if len(view.queue) >= cap else -1
+                row[block] = view
+            blocks = blocks[:node] + (tuple(row),) + blocks[node + 1:]
+        apps = state.apps
+        app = apps[node]
+        new_gen = app.gen if gen is _KEEP_GEN else gen
+        if new_gen != app.gen or effects.blocked_after != app.blocked_on:
+            apps = apps[:node] + (
+                AppView(blocked_on=effects.blocked_after, gen=new_gen),
+            ) + apps[node + 1:]
+        channels = state.channels
+        if removed is not None or effects.sends:
+            changed: dict = {}
+            if removed is not None:
+                src, dst, index = removed
+                channel = channels[src][dst]
+                changed[(src, dst)] = channel[:index] + channel[index + 1:]
+            for message in effects.sends:
+                key = (node, message.dst)
+                base = changed.get(key)
+                if base is None:
+                    base = channels[node][message.dst]
+                changed[key] = base + (message,)
+            rows = list(channels)
+            touched_rows: dict = {}
+            for (src, dst), channel in changed.items():
+                before = channels[src][dst]
+                if (len(channel) >= cap) != (len(before) >= cap):
+                    delta += 1 if len(channel) >= cap else -1
+                row = touched_rows.get(src)
+                if row is None:
+                    row = touched_rows[src] = list(rows[src])
+                row[dst] = intern_channel(channel)
+            for src, row in touched_rows.items():
+                rows[src] = tuple(row)
+            channels = tuple(rows)
+        successor = GlobalState(blocks=blocks, apps=apps,
+                                channels=channels, faults=state.faults)
+        successor = self._state_intern.setdefault(successor, successor)
+        cong = state.__dict__.get("_cong")
+        if (cong is not None and cong[0] == cap
+                and "_cong" not in successor.__dict__):
+            object.__setattr__(successor, "_cong", (cap, cong[1] + delta))
+        return successor
+
+    def _successor_for(self, state: GlobalState, node: int,
+                       effects, gen, removed) -> GlobalState:
+        """Memoised :meth:`_build_successor`: replaying the same effects
+        on the same parent always yields the same state, so repeat
+        expansions are a dict hit.  ``effects`` is keyed by identity
+        (cached ActionEffects are canonical per input 4-tuple); profiled
+        runs record fresh effects per action, so they build directly."""
+        if self.profiler is not None:
+            return self._build_successor(state, node, effects,
+                                         gen=gen, removed=removed)
+        key = (state, node, effects, gen, removed)
+        successor = self._succ_cache.get(key)
+        if successor is None:
+            successor = self._succ_cache[key] = self._build_successor(
+                state, node, effects, gen=gen, removed=removed)
+        return successor
+
+    def _congestion_count(self, state: GlobalState) -> int:
+        """How many channels/deferred queues sit at the channel cap.
+        Computed once per state and carried forward incrementally by
+        :meth:`_build_successor`, instead of rescanning every channel
+        and queue on each expansion."""
+        cap = self.channel_cap
+        cached = state.__dict__.get("_cong")
+        if cached is not None and cached[0] == cap:
+            return cached[1]
+        count = 0
+        for row in state.channels:
+            for channel in row:
+                if len(channel) >= cap:
+                    count += 1
+        for node_blocks in state.blocks:
+            for view in node_blocks:
+                if len(view.queue) >= cap:
+                    count += 1
+        object.__setattr__(state, "_cong", (cap, count))
+        return count
+
+    def _apply_app_op(self, state: GlobalState, node: int, op: tuple,
+                      new_gen: tuple) -> Optional[GlobalState]:
+        """Issue an application operation; returns the successor state."""
+        kind = op[0]
+        app = state.apps[node]
+        if kind in ("read", "write"):
+            block = op[1]
+            access = state.blocks[node][block].access
+            fkey = (access, kind)
+            fault = _FAULT_MEMO.get(fkey, _NO_ENTRY)
+            if fault is _NO_ENTRY:
+                fault = _FAULT_MEMO[fkey] = fault_for_access(
+                    access, kind == "write")
+            if fault is None:
+                # Hit: only the generator advanced.  With an unchanged
+                # generator the successor IS the parent (a self-loop).
+                if new_gen == app.gen:
+                    return state
+                return self._successor_for(state, node, _NO_EFFECTS,
+                                           new_gen, None)
+            message = intern_message(
+                Message(fault, block, src=node, dst=node))
+        else:  # program event (CAS, sync, LCM enter/exit, ...)
+            _kind, tag, block = op[0], op[1], op[2]
+            payload = op[3] if len(op) > 3 else ()
+            message = intern_message(
+                Message(tag, block, src=node, dst=node, payload=payload))
+        effects = self._action_effects(state, node, message, block)
+        if effects.error is not None:
+            raise CheckerViolation(effects.error)
+        return self._successor_for(state, node, effects, new_gen, None)
+
+    def _apply_delivery(self, state: GlobalState, src: int, dst: int,
+                        index: int) -> GlobalState:
+        message = state.channels[src][dst][index]
+        effects = self._action_effects(state, dst, message,
+                                       state.apps[dst].blocked_on)
+        if effects.error is not None:
+            raise CheckerViolation(effects.error)
+        return self._successor_for(state, dst, effects, _KEEP_GEN,
+                                   (src, dst, index))
+
+    def _delivery_label(self, message: Message, src: int, dst: int,
+                        index: int) -> str:
+        key = (message, src, dst, index)
+        label = self._label_cache.get(key)
+        if label is None:
+            label = (f"deliver {message.tag} {src}->{dst}[{index}] "
+                     f"blk={message.block}")
+            self._label_cache[key] = label
+        return label
+
+    def _choices(self, node: int, gen: tuple) -> tuple:
+        key = (node, gen)
+        choices = self._choice_cache.get(key)
+        if choices is None:
+            choices = self._choice_cache[key] = tuple(
+                self.events.choices(gen, node, self.n_blocks))
+        return choices
+
+    def _fast_successors(self, state: GlobalState):
+        """Yield (label, successor) pairs; CheckerViolation propagates."""
+        # Application events (gated while the network or a deferred queue
+        # is congested, to keep the model finite -- see channel_cap).
+        if self._congestion_count(state) == 0:
+            for node in range(self.n_nodes):
+                app = state.apps[node]
+                if app.blocked_on is not None:
+                    continue
+                for choice in self._choices(node, app.gen):
+                    try:
+                        successor = self._apply_app_op(
+                            state, node, choice.op, choice.new_gen)
+                    except CheckerViolation as violation:
+                        raise _LabelledViolation(choice.label,
+                                                 violation.message)
+                    yield choice.label, successor
+        # Message deliveries (with bounded reordering).
+        for src in range(self.n_nodes):
+            row = state.channels[src]
+            for dst in range(self.n_nodes):
+                channel = row[dst]
+                limit = min(len(channel), self.reorder_bound + 1)
+                for index in range(limit):
+                    label = self._delivery_label(
+                        channel[index], src, dst, index)
+                    try:
+                        successor = self._apply_delivery(
+                            state, src, dst, index)
+                    except CheckerViolation as violation:
+                        raise _LabelledViolation(label, violation.message)
+                    yield label, successor
+        # Fault transitions: lose or duplicate any in-flight message,
+        # while budget remains (see _legacy_successors for the notes).
+        drops, dups = state.faults
+        if drops or dups:
+            for src in range(self.n_nodes):
+                for dst in range(self.n_nodes):
+                    channel = state.channel(src, dst)
+                    for index, msg in enumerate(channel):
+                        where = (f"{msg.tag} {src}->{dst}[{index}] "
+                                 f"blk={msg.block}")
+                        if drops:
+                            yield (f"drop {where}", replace(
+                                state,
+                                channels=self._edit_channel(
+                                    state, src, dst,
+                                    channel[:index] + channel[index + 1:]),
+                                faults=(drops - 1, dups)))
+                        if dups:
+                            yield (f"dup {where}", replace(
+                                state,
+                                channels=self._edit_channel(
+                                    state, src, dst, channel + (msg,)),
+                                faults=(drops, dups - 1)))
+
+    # -- rule application (legacy engine) -----------------------------------
+    #
+    # The pre-refactor copy-the-world engine: build a full MutableState
+    # working copy per successor, run the action against it, freeze the
+    # whole thing back.  Kept (a) as the reference the differential
+    # harness pins the fast engine against, and (b) as documentation of
+    # the semantics the fast engine must preserve.  Delete once the fast
+    # engine has soaked.
 
     def _run_action(self, mutable: MutableState, node: int,
                     message: Message) -> CheckerContext:
@@ -387,18 +783,24 @@ class ModelChecker:
         interpreter does).  Counts both initial dispatches and queue
         redeliveries, so every arm the exploration exercises is seen.
         Returns the arm key, which the profiler attributes dispatch
-        cost to."""
-        state = self.protocol.states.get(state_name)
-        handler = state.dispatch(tag) if state is not None else None
-        if handler is None:
+        cost to.  Dispatch resolution is memoised per (state, tag) --
+        the protocol's handler tables never change mid-run."""
+        table = self._fire_key_table
+        key = table.get((state_name, tag), _NO_ENTRY)
+        if key is _NO_ENTRY:
+            state = self.protocol.states.get(state_name)
+            handler = state.dispatch(tag) if state is not None else None
+            key = (None if handler is None
+                   else f"{state_name}.{handler.message_name}")
+            table[(state_name, tag)] = key
+        if key is None:
             return None
-        key = f"{state_name}.{handler.message_name}"
         fires = self._handler_fires
         fires[key] = fires.get(key, 0) + 1
         return key
 
-    def _apply_app_op(self, state: GlobalState, node: int, op: tuple,
-                      new_gen: tuple) -> Optional[GlobalState]:
+    def _legacy_apply_app_op(self, state: GlobalState, node: int, op: tuple,
+                             new_gen: tuple) -> Optional[GlobalState]:
         """Issue an application operation; returns the successor state."""
         mutable = MutableState(state, self.n_nodes, self.n_blocks)
         mutable.apps[node]["gen"] = new_gen
@@ -420,14 +822,23 @@ class ModelChecker:
         self._run_action(mutable, node, message)
         return mutable.freeze()
 
-    def _apply_delivery(self, state: GlobalState, src: int, dst: int,
-                        index: int) -> GlobalState:
+    def _legacy_apply_delivery(self, state: GlobalState, src: int, dst: int,
+                               index: int) -> GlobalState:
         mutable = MutableState(state, self.n_nodes, self.n_blocks)
         message = mutable.channels[src][dst].pop(index)
         self._run_action(mutable, dst, message)
         return mutable.freeze()
 
     def _successors(self, state: GlobalState):
+        """Yield (label, successor) pairs; CheckerViolation propagates
+        (wrapped as _LabelledViolation).  Dispatches to the configured
+        engine; both produce identical labels, successor states, and
+        handler-fire counts, in identical order."""
+        if self.engine == "legacy":
+            return self._legacy_successors(state)
+        return self._fast_successors(state)
+
+    def _legacy_successors(self, state: GlobalState):
         """Yield (label, successor) pairs; CheckerViolation propagates."""
         # Application events (gated while the network or a deferred queue
         # is congested, to keep the model finite -- see channel_cap).
@@ -446,7 +857,7 @@ class ModelChecker:
                 continue
             for choice in self.events.choices(app.gen, node, self.n_blocks):
                 try:
-                    successor = self._apply_app_op(
+                    successor = self._legacy_apply_app_op(
                         state, node, choice.op, choice.new_gen)
                 except CheckerViolation as violation:
                     raise _LabelledViolation(choice.label, violation.message)
@@ -461,7 +872,7 @@ class ModelChecker:
                              f"{src}->{dst}[{index}] blk="
                              f"{channel[index].block}")
                     try:
-                        successor = self._apply_delivery(
+                        successor = self._legacy_apply_delivery(
                             state, src, dst, index)
                     except CheckerViolation as violation:
                         raise _LabelledViolation(label, violation.message)
@@ -496,14 +907,12 @@ class ModelChecker:
     @staticmethod
     def _edit_channel(state: GlobalState, src: int, dst: int,
                       new_channel: tuple) -> tuple:
-        """The state's channels tuple with one channel replaced."""
-        return tuple(
-            tuple(
-                new_channel if (i, j) == (src, dst) else channel
-                for j, channel in enumerate(row)
-            )
-            for i, row in enumerate(state.channels)
-        )
+        """The state's channels tuple with one channel replaced.
+        Rebuilds only the affected row; the other rows are shared."""
+        channels = state.channels
+        row = channels[src]
+        new_row = row[:dst] + (intern_channel(new_channel),) + row[dst + 1:]
+        return channels[:src] + (new_row,) + channels[src + 1:]
 
     # -- search -------------------------------------------------------------
 
@@ -520,6 +929,11 @@ class ModelChecker:
             (self._invariant_name(invariant), invariant)
             for invariant in self.invariants
         ]
+        if self.engine == "fast":
+            self._inv_verdicts = self._invariant_verdicts.setdefault(
+                tuple(inv for _name, inv in self._named_invariants), {})
+        else:
+            self._inv_verdicts = None
         initial = initial_global_state(
             self.protocol, self.n_nodes, self.n_blocks, self.home_of,
             self.events.initial, faults=self.fault_budget)
@@ -706,7 +1120,7 @@ class ModelChecker:
             invariants=self.invariants, max_states=self.max_states,
             channel_cap=self.channel_cap,
             interpreter_factory=self.interpreter_factory,
-            fault_budget=self.fault_budget)
+            fault_budget=self.fault_budget, engine=self.engine)
 
     def verify_violation(self, violation: Violation) -> GlobalState:
         """Replay-validate a counterexample built from fingerprints.
@@ -819,10 +1233,30 @@ class ModelChecker:
 
     def _check_invariants(self, state: GlobalState) -> Optional[str]:
         evals = self._invariant_evals
-        for invariant in self._named_invariants:
-            name = invariant[0]
+        named = self._named_invariants
+        cache = self._inv_verdicts
+        if cache is not None:
+            hit = cache.get(state)
+            if hit is not None:
+                # Replay the verdict *and* the evaluation counts: the
+                # original evaluation stopped after n_evaluated checks.
+                message, n_evaluated = hit
+                for name, _inv in named[:n_evaluated]:
+                    evals[name] = evals.get(name, 0) + 1
+                return message
+            message = None
+            n_evaluated = 0
+            for name, invariant in named:
+                evals[name] = evals.get(name, 0) + 1
+                n_evaluated += 1
+                message = invariant(state, self.protocol)
+                if message is not None:
+                    break
+            cache[state] = (message, n_evaluated)
+            return message
+        for name, invariant in named:
             evals[name] = evals.get(name, 0) + 1
-            message = invariant[1](state, self.protocol)
+            message = invariant(state, self.protocol)
             if message is not None:
                 return message
         return None

@@ -31,6 +31,17 @@ class BlockView:
     access: str          # AccessTag.value
     queue: tuple         # deferred Messages
 
+    def __hash__(self):
+        # Views are shared across thousands of states (see the intern
+        # table below) and hashed on every visited-set insert; compute
+        # once on the same basis as the dataclass-generated hash.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.state_name, self.state_args, self.info,
+                           self.access, self.queue))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
 
 @dataclass(frozen=True)
 class AppView:
@@ -38,6 +49,53 @@ class AppView:
 
     blocked_on: Optional[int]
     gen: tuple           # event-generator-specific state
+
+    def __hash__(self):
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.blocked_on, self.gen))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+
+# -- interning -------------------------------------------------------------
+#
+# The exploration hot loop builds millions of views, messages, and
+# channel tuples whose values recur constantly (a protocol has a handful
+# of reachable block configurations, and the same messages fly between
+# the same nodes on every path).  Interning canonicalizes each immutable
+# substructure to one shared object, so successor states share storage
+# with their parents, equality checks hit the identity fast path inside
+# tuple comparison, and cached hashes are computed once per distinct
+# value instead of once per state.  The tables are process-global and
+# never evicted: the working set is bounded by the number of *distinct*
+# substructures, which is tiny compared to the number of states.
+
+_VIEW_INTERN: dict = {}
+_MESSAGE_INTERN: dict = {}
+_CHANNEL_INTERN: dict = {}
+
+
+def intern_view(state_name: str, state_args: tuple, info: tuple,
+                access: str, queue: tuple) -> BlockView:
+    """The canonical BlockView for these field values."""
+    key = (state_name, state_args, info, access, queue)
+    view = _VIEW_INTERN.get(key)
+    if view is None:
+        view = _VIEW_INTERN[key] = BlockView(
+            state_name=state_name, state_args=state_args, info=info,
+            access=access, queue=queue)
+    return view
+
+
+def intern_message(message: Message) -> Message:
+    """The canonical Message equal to ``message``."""
+    return _MESSAGE_INTERN.setdefault(message, message)
+
+
+def intern_channel(channel: tuple) -> tuple:
+    """The canonical tuple equal to ``channel`` (a message sequence)."""
+    return _CHANNEL_INTERN.setdefault(channel, channel)
 
 
 @dataclass(frozen=True)
@@ -280,6 +338,230 @@ class CheckerContext(ProtocolContext):
         pass
 
 
+class ActionScratch:
+    """Mutate-and-undo working set for ONE node's atomic action.
+
+    The legacy engine copied the *entire* global state into a
+    :class:`MutableState` and froze the whole thing back per successor.
+    An ``ActionScratch`` instead journals exactly what one action
+    touches: block records of the acting node are copied lazily on first
+    touch (the journal is the ``records`` map itself), sends accumulate
+    in order, and the node's blocked-on marker is a scalar.  ``undo()``
+    drops the journal, restoring the scratch to the parent state;
+    ``effects()`` distils the journal into an :class:`ActionEffects`
+    that can be replayed onto any structurally-equal parent.
+
+    Handlers can only ever read or write the acting node's own records
+    and application status (every read goes through
+    ``ProtocolContext.get_state``/``get_info`` on the current message's
+    block, and every write lands on ``record(self.node, block)``), which
+    is what makes the journal -- and the effect cache built on it --
+    sound.
+    """
+
+    __slots__ = ("parent", "node", "records", "blocked_on", "sends",
+                 "_parent_blocks", "_parent_app")
+
+    def __init__(self, parent: GlobalState, node: int):
+        self.parent = parent
+        self.node = node
+        self._parent_blocks = parent.blocks[node]
+        self._parent_app = parent.apps[node]
+        self.records: dict = {}      # block -> working dict (the journal)
+        self.blocked_on = self._parent_app.blocked_on
+        self.sends: list = []        # Messages in send order
+
+    def record(self, block: int) -> dict:
+        rec = self.records.get(block)
+        if rec is None:
+            view = self._parent_blocks[block]
+            rec = self.records[block] = {
+                "state_name": view.state_name,
+                "state_args": view.state_args,
+                "info": dict(view.info),
+                "access": view.access,
+                "queue": list(view.queue),
+                "state_changed": False,
+            }
+        return rec
+
+    def undo(self) -> None:
+        """Drop every journalled change; the scratch reads as the parent."""
+        self.records.clear()
+        self.sends.clear()
+        self.blocked_on = self._parent_app.blocked_on
+
+    def changed_views(self) -> tuple:
+        """Interned ``(block, BlockView)`` pairs for journalled records
+        whose frozen view differs from the parent's."""
+        out = []
+        for block in sorted(self.records):
+            rec = self.records[block]
+            view = intern_view(
+                rec["state_name"], rec["state_args"],
+                tuple(sorted(rec["info"].items())),
+                rec["access"], tuple(rec["queue"]))
+            if view != self._parent_blocks[block]:
+                out.append((block, view))
+        return tuple(out)
+
+    def freeze(self) -> GlobalState:
+        """The full successor state implied by the journal (test/debug
+        surface; the checker replays :meth:`effects` incrementally)."""
+        node = self.node
+        blocks = self.parent.blocks
+        changed = self.changed_views()
+        if changed:
+            row = list(blocks[node])
+            for block, view in changed:
+                row[block] = view
+            blocks = blocks[:node] + (tuple(row),) + blocks[node + 1:]
+        apps = self.parent.apps
+        if self.blocked_on != self._parent_app.blocked_on:
+            apps = apps[:node] + (
+                AppView(blocked_on=self.blocked_on,
+                        gen=self._parent_app.gen),) + apps[node + 1:]
+        channels = self.parent.channels
+        if self.sends:
+            appended: dict = {}
+            for message in self.sends:
+                appended.setdefault(message.dst, []).append(message)
+            row = list(channels[node])
+            for dst, extra in appended.items():
+                row[dst] = intern_channel(row[dst] + tuple(extra))
+            channels = channels[:node] + (tuple(row),) + channels[node + 1:]
+        return GlobalState(blocks=blocks, apps=apps, channels=channels,
+                           faults=self.parent.faults)
+
+
+class ActionEffects:
+    """The replayable outcome of one atomic action.
+
+    An action is a deterministic function of ``(node, the acting
+    block's view, the message, the node's blocked-on marker)``; this
+    object records everything it did so the checker can apply the same
+    transition to any parent sharing those inputs without running a
+    single handler.
+    """
+
+    __slots__ = ("views", "sends", "blocked_after", "fires", "error")
+
+    def __init__(self, views: tuple, sends: tuple, blocked_after,
+                 fires: tuple, error: Optional[str]):
+        self.views = views              # ((block, BlockView after), ...)
+        self.sends = sends              # Messages in send order
+        self.blocked_after = blocked_after
+        self.fires = fires              # handler-fire keys, in order
+        self.error = error              # CheckerViolation message, or None
+
+
+class ActionContext(ProtocolContext):
+    """ProtocolContext over an :class:`ActionScratch` (the fast engine's
+    counterpart of :class:`CheckerContext`; identical semantics)."""
+
+    def __init__(self, protocol: CompiledProtocol, scratch: ActionScratch,
+                 home_of):
+        self.protocol = protocol
+        self.scratch = scratch
+        self._home_of = home_of
+        self._message: Optional[Message] = None
+        self.counters = RuntimeCounters()
+        self.costs = ZERO_COSTS
+        self.woken: list[int] = []
+
+    def begin(self, message: Message) -> None:
+        self._message = message
+
+    @property
+    def node(self) -> int:
+        return self.scratch.node
+
+    @property
+    def current_message(self) -> Message:
+        assert self._message is not None
+        return self._message
+
+    def home_node(self, block: int) -> int:
+        return self._home_of(block)
+
+    def _record(self) -> dict:
+        return self.scratch.record(self._message.block)
+
+    def get_state(self) -> tuple[str, tuple]:
+        record = self._record()
+        return record["state_name"], record["state_args"]
+
+    def set_state(self, state_name: str, args: tuple) -> None:
+        record = self._record()
+        if (state_name, args) != (record["state_name"], record["state_args"]):
+            record["state_changed"] = True
+        record["state_name"] = state_name
+        record["state_args"] = args
+
+    def get_info(self, name: str):
+        return self._record()["info"][name]
+
+    def set_info(self, name: str, value) -> None:
+        self._record()["info"][name] = value
+
+    def send(self, dst: int, tag: str, block: int, payload: tuple,
+             with_data: bool) -> None:
+        self.counters.messages_sent += 1
+        self.scratch.sends.append(intern_message(Message(
+            tag, block, src=self.scratch.node, dst=dst,
+            payload=payload, data=() if with_data else None)))
+
+    def access_change(self, block: int, mode: str) -> None:
+        tag = ACCESS_CHANGE_RESULT.get(mode)
+        if tag is None:
+            self.error(f"unknown access mode {mode!r}")
+            return
+        self.scratch.record(block)["access"] = tag.value
+
+    def recv_data(self, block: int, mode: str) -> None:
+        if self.current_message.data is None:
+            self.error(
+                f"RecvData but message {self.current_message.tag} "
+                "carries no data")
+            return
+        self.access_change(block, mode)
+
+    def read_word(self, block: int, addr: int):
+        return 0  # data values are not modelled (Section 7)
+
+    def write_word(self, block: int, addr: int, value) -> None:
+        pass
+
+    def enqueue_current(self) -> None:
+        self.counters.queue_allocs += 1
+        self._record()["queue"].append(self.current_message)
+
+    def retry_queued(self, block: int) -> None:
+        self.scratch.record(block)["state_changed"] = True
+
+    def wakeup(self, block: int) -> None:
+        if self.scratch.blocked_on == block:
+            self.scratch.blocked_on = None
+            self.woken.append(block)
+
+    def error(self, message: str) -> None:
+        raise CheckerViolation(message)
+
+    def debug_print(self, values: list) -> None:
+        pass
+
+    def support_call(self, name: str, args: list):
+        raise CheckerViolation(
+            f"support routine {name!r} has no checker model")
+
+    def support_const(self, name: str):
+        raise CheckerViolation(
+            f"abstract constant {name!r} has no checker model")
+
+    def charge(self, cycles: int) -> None:
+        pass
+
+
 def initial_global_state(protocol: CompiledProtocol, n_nodes: int,
                          n_blocks: int, home_of, gen_initial,
                          faults: tuple = (0, 0)) -> GlobalState:
@@ -294,13 +576,10 @@ def initial_global_state(protocol: CompiledProtocol, n_nodes: int,
             else:
                 state_name = protocol.initial_cache_state
                 access = AccessTag.INVALID.value
-            node_blocks.append(BlockView(
-                state_name=state_name,
-                state_args=(),
-                info=tuple(sorted(protocol.initial_info().items())),
-                access=access,
-                queue=(),
-            ))
+            node_blocks.append(intern_view(
+                state_name, (),
+                tuple(sorted(protocol.initial_info().items())),
+                access, ()))
         blocks.append(tuple(node_blocks))
     apps = tuple(
         AppView(blocked_on=None, gen=gen_initial(node))

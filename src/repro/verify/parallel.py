@@ -6,40 +6,62 @@ layer at a time on one core, holding every visited state in memory.
 hash-partitions the state space across N worker processes: each worker
 *owns* the shard of states whose 64-bit fingerprint satisfies
 ``fp % workers == worker_id``, and only the owner ever stores, dedupes,
-invariant-checks, or expands a state.  Exploration proceeds in
-bulk-synchronous waves (one wave = one BFS layer):
+invariant-checks, or records parent pointers for a state.
 
-1. The master routes each worker its incoming *candidates* -- successor
-   states generated elsewhere whose fingerprints land in that worker's
-   shard -- as one batch.
-2. Each worker dedupes candidates against its visited-fingerprint set,
-   records a parent pointer per new state, runs the invariant suite, and
-   then expands the accepted states, fingerprinting each successor once
-   at the sender.  Own-shard successors stay worker-local; foreign ones
-   are batched per owner and handed back to the master for routing.
-3. The master aggregates per-wave statistics (per-worker ``states/s``
-   feed the ``--progress`` stream), detects termination, truncation at
-   ``max_states``, and violations.
+Exploration proceeds in deterministic cycles (one cycle = one BFS
+layer), but -- unlike the first-generation engine, which shipped every
+successor *state* to its owner through the master -- the frontier
+exchange is fingerprint-only:
+
+1. ``expand``: each worker expands its accepted states (plus any tasks
+   stolen from a busier peer), keeps the generated successor states in a
+   local *stash*, and hands the master metadata records
+   ``(fp, parent_fp, label, depth)`` batched per owner.  Full states
+   never cross a pipe at this point.
+2. The master routes the metadata.  ``ingest``: each owner dedupes the
+   candidates against its visited set; fresh own-generated states are
+   resolved from the local stash immediately, foreign ones are *staged*
+   and their fingerprints listed per sender.
+3. ``fetch``/``adopt``: the master collects the needed states from the
+   senders' stashes -- only states that survived owner-side dedupe are
+   ever serialized -- and delivers them to their owners, which accept
+   them (visited set, parent pointer, invariant suite) into the next
+   ready set.
+
+Before each ``expand`` the master compares ready-set sizes and, when the
+spread exceeds a threshold, relocates tasks from the richest worker to
+the poorest (``donate``/``take``).  Stolen tasks are expanded by the
+thief -- transition counts, handler coverage, and the successor stash
+travel with the task -- while dedupe and parent pointers stay with the
+shard owner, so stealing changes load balance, never results.
 
 Determinism: the set of states in BFS layer *k* is a property of the
 protocol, not of the partitioning, and every visited state is expanded
 exactly once -- so verdict, reachable-state count, transition count, and
 ``handler_fires`` coverage are identical at any worker count.  When a
-wave surfaces violations, every worker still finishes the whole wave and
-the master picks the canonical minimum by ``(depth, kind, message,
-label, fingerprint)``, so the reported violation is worker-count
-independent too.  The counterexample trace is rebuilt by walking the
-sharded parent pointers (one owner query per hop) and then
-replay-validated against a fresh serial checker; a fingerprint collision
-that corrupted the path raises
-:class:`~repro.verify.checker.FingerprintCollisionError` instead of
-reporting a bogus trace.
+layer surfaces violations (invariant failures at acceptance, errors and
+deadlocks at expansion), every worker still finishes the layer and the
+master picks the canonical minimum by ``(depth, kind, message, label,
+fingerprint)``, so the reported violation is worker-count independent
+too.  Parent pointers are canonical as well: a state discovered by
+several layer-*k* parents takes the minimum ``(parent fp, label)`` edge
+-- senders keep the per-sender minimum during expansion and owners take
+the minimum over the wave's proposals, so the winning edge is the global
+minimum over every discovering edge, a pure function of the state graph
+rather than of partitioning, arrival order, or stealing.  The
+counterexample trace is rebuilt by walking the sharded parent
+pointers (one owner query per hop) and then replay-validated against a
+fresh serial checker; a fingerprint collision that corrupted the path
+raises :class:`~repro.verify.checker.FingerprintCollisionError` instead
+of reporting a bogus trace.
 
 Checkpoints are pure JSON (no pickles; see
 :mod:`repro.verify.fingerprint` for the state codec) and are written at
-wave boundaries when the run truncates at ``max_states`` or is
-interrupted.  Because entries are keyed by fingerprint, a checkpoint
-written at one worker count can be resumed at any other.
+layer boundaries when the run truncates at ``max_states`` or is
+interrupted.  The frontier in a checkpoint is materialized by fetching
+the pending candidates' states from the sender stashes, so the on-disk
+format is unchanged from version 1: entries are keyed by fingerprint and
+a checkpoint written at one worker count can be resumed at any other.
 """
 
 from __future__ import annotations
@@ -75,6 +97,11 @@ CHECKPOINT_VERSION = 1
 _DEADLOCK_MESSAGE = ("no rule enabled: all nodes blocked and no messages "
                      "in flight")
 
+# Minimum ready-set gap (richest minus poorest worker) before the master
+# relocates expansion tasks.  Below this, the barrier cost of the extra
+# round-trips exceeds the imbalance.
+_STEAL_THRESHOLD = 4
+
 # Violation kinds sort alphabetically, which happens to put "deadlock"
 # before "error" before "invariant"; the rank only needs to be total and
 # worker-count independent, not meaningful.
@@ -106,7 +133,7 @@ def _worker_main(conn, worker_id: int, n_workers: int,
 
     Runs a small command loop over a duplex pipe; the master is the only
     peer.  SIGINT is ignored so Ctrl-C reaches only the master, which
-    finishes the wave and checkpoints before shutting workers down.
+    finishes the layer and checkpoints before shutting workers down.
     """
     import signal
 
@@ -115,17 +142,48 @@ def _worker_main(conn, worker_id: int, n_workers: int,
     checker._handler_fires = {}
     checker._named_invariants = [
         (checker._invariant_name(inv), inv) for inv in checker.invariants]
+    if checker.engine == "fast":
+        checker._inv_verdicts = checker._invariant_verdicts.setdefault(
+            tuple(inv for _name, inv in checker._named_invariants), {})
+    else:
+        checker._inv_verdicts = None
     fp_fn = checker.fingerprint_fn
     atlas = checker.atlas
     if atlas is not None:
         atlas.bind(checker.protocol, checker.n_nodes, checker.n_blocks)
+    prof = checker.profiler
 
     visited: set[int] = set()          # fps of states this shard owns
     parents: dict[int, tuple] = {}     # fp -> (parent fp | None, label)
     known: set[int] = set()            # every fp seen/routed (send dedupe)
-    local_next: list = []              # own-shard candidates for next wave
+    ready: list = []                   # (fp, state, depth) awaiting expansion
+    stolen: list = []                  # tasks relocated here for this layer
+    staged: dict = {}                  # fp -> (pfp, label, depth) pre-fetch
+    stash: dict = {}                   # fp -> state, last expansion's sends
     transitions = 0
     max_depth = 0
+
+    def accept(sfp, state, pfp, label, depth, violations) -> None:
+        """Take ownership of a fresh state: bookkeeping, invariants,
+        and a slot in the next ready set."""
+        nonlocal max_depth
+        t0 = time.perf_counter() if prof is not None else 0.0
+        visited.add(sfp)
+        known.add(sfp)
+        parents[sfp] = (pfp, label)
+        if depth > max_depth:
+            max_depth = depth
+        if atlas is not None:
+            atlas.visit(state, depth, fp=sfp)
+        if prof is not None:
+            prof.add_phase("visited", time.perf_counter() - t0)
+            t0 = time.perf_counter()
+        message = checker._check_invariants(state)
+        if prof is not None:
+            prof.add_phase("invariants", time.perf_counter() - t0)
+        if message is not None:
+            violations.append(("invariant", message, depth, sfp, None))
+        ready.append((sfp, state, depth))
 
     while True:
         command = conn.recv()
@@ -138,40 +196,118 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             parents.update(loaded_parents)
             conn.send(("loaded", len(visited)))
 
-        elif op == "wave":
-            _, wave_no, foreign = command
-            started = time.perf_counter()
-            prof = checker.profiler
-            candidates = local_next + foreign
-            local_next = []
-            accepted = []
-            violations = []
-            for sfp, state, pfp, label, depth in candidates:
-                t0 = time.perf_counter() if prof is not None else 0.0
+        elif op == "seed":                    # full-state candidates
+            _, entries = command              # (initial state or a resumed
+            started = time.perf_counter()     # checkpoint frontier)
+            violations: list = []
+            # A resumed frontier can propose the same state from several
+            # senders; pick the canonical-minimum parent edge so resumed
+            # runs grow the same spanning tree as uninterrupted ones.
+            best: dict = {}
+            order: list = []
+            for sfp, state, pfp, label, depth in entries:
                 if sfp in visited:
-                    if prof is not None:
-                        prof.add_phase("visited",
-                                       time.perf_counter() - t0)
                     continue
-                visited.add(sfp)
-                known.add(sfp)
-                parents[sfp] = (pfp, label)
-                if depth > max_depth:
-                    max_depth = depth
-                if atlas is not None:
-                    atlas.visit(state, depth, fp=sfp)
-                if prof is not None:
-                    prof.add_phase("visited", time.perf_counter() - t0)
-                    t0 = time.perf_counter()
-                message = checker._check_invariants(state)
-                if prof is not None:
-                    prof.add_phase("invariants", time.perf_counter() - t0)
-                if message is not None:
-                    violations.append(
-                        ("invariant", message, depth, sfp, None))
-                accepted.append((sfp, state, depth))
-            outbox = defaultdict(list)
-            for sfp, state, depth in accepted:
+                key = (pfp if pfp is not None else -1, label or "")
+                current = best.get(sfp)
+                if current is None:
+                    order.append(sfp)
+                    best[sfp] = (key, state, pfp, label, depth)
+                elif key < current[0]:
+                    best[sfp] = (key, state, pfp, label, depth)
+            for sfp in order:
+                _key, state, pfp, label, depth = best[sfp]
+                accept(sfp, state, pfp, label, depth, violations)
+            conn.send(("done", {
+                "visited": len(visited),
+                "ready": len(ready),
+                "max_depth": max_depth,
+                "violations": violations,
+                "inv_evals": sum(checker._invariant_evals.values()),
+                "seconds": time.perf_counter() - started,
+            }))
+
+        elif op == "ingest":                  # metadata candidates
+            _, entries = command
+            started = time.perf_counter()
+            violations = []
+            need: dict = defaultdict(list)
+            # All of the wave's proposals for this shard arrive in one
+            # batch; a state freshly discovered by several parents takes
+            # the minimum (parent fp, label) edge.  Combined with the
+            # sender-side minimum kept during expansion, the winning
+            # parent is the global minimum over every discovering edge
+            # -- a pure function of the state graph, independent of
+            # partitioning, arrival order, and work stealing.
+            best = {}
+            order = []
+            for sfp, pfp, label, depth, sender in entries:
+                if sfp in visited:
+                    continue
+                current = best.get(sfp)
+                if current is None:
+                    order.append(sfp)
+                    best[sfp] = (pfp, label, depth, sender)
+                elif (pfp, label) < (current[0], current[1]):
+                    best[sfp] = (pfp, label, depth, sender)
+            for sfp in order:
+                pfp, label, depth, sender = best[sfp]
+                if sender == worker_id:
+                    # Own successor: the state never left this process.
+                    accept(sfp, stash[sfp], pfp, label, depth, violations)
+                else:
+                    staged[sfp] = (pfp, label, depth)
+                    need[sender].append(sfp)
+            conn.send(("done", {
+                "need": dict(need),
+                "ready": len(ready),
+                "violations": violations,
+                "seconds": time.perf_counter() - started,
+            }))
+
+        elif op == "fetch":                   # serve states from the stash
+            _, wanted = command
+            conn.send(("states", [(fp, stash[fp]) for fp in wanted]))
+
+        elif op == "adopt":                   # fetched foreign states
+            _, entries = command
+            started = time.perf_counter()
+            violations = []
+            for sfp, state in entries:
+                pfp, label, depth = staged.pop(sfp)
+                accept(sfp, state, pfp, label, depth, violations)
+            conn.send(("done", {
+                "visited": len(visited),
+                "ready": len(ready),
+                "max_depth": max_depth,
+                "violations": violations,
+                "inv_evals": sum(checker._invariant_evals.values()),
+                "seconds": time.perf_counter() - started,
+            }))
+
+        elif op == "donate":                  # give tasks to a poorer peer
+            _, count = command
+            give = ready[-count:]
+            del ready[-count:]
+            conn.send(("tasks", give))
+
+        elif op == "take":                    # receive relocated tasks
+            _, tasks = command
+            stolen.extend(tasks)
+            conn.send(("taken", len(tasks)))
+
+        elif op == "expand":
+            _, wave_no = command
+            started = time.perf_counter()
+            tasks = ready + stolen
+            ready = []
+            stolen = []
+            stash = {}
+            proposals: dict = {}          # fp -> (parent fp, label, depth)
+            route: list = []              # fps in first-generation order
+            outbox: dict = defaultdict(list)
+            violations = []
+            for sfp, state, depth in tasks:
                 found_successor = False
                 out_degree = 0
                 if atlas is not None:
@@ -197,17 +333,26 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                             # its target was already routed -- the send
                             # dedupe below is not an edge dedupe.
                             atlas.edge(label, successor, fp=fp)
+                        if fp in stash:
+                            # Rediscovered within this wave: keep the
+                            # minimum edge so this sender's proposal is
+                            # its minimum over all generating edges.
+                            proposal = proposals[fp]
+                            if (sfp, label) < (proposal[0], proposal[1]):
+                                proposals[fp] = (sfp, label, depth + 1)
+                            if prof is not None:
+                                prof.add_phase(
+                                    "visited", time.perf_counter() - t0)
+                            continue
                         if fp in known:
                             if prof is not None:
                                 prof.add_phase(
                                     "visited", time.perf_counter() - t0)
                             continue
                         known.add(fp)
-                        entry = (fp, successor, sfp, label, depth + 1)
-                        if fp % n_workers == worker_id:
-                            local_next.append(entry)
-                        else:
-                            outbox[fp % n_workers].append(entry)
+                        stash[fp] = successor
+                        proposals[fp] = (sfp, label, depth + 1)
+                        route.append(fp)
                         if prof is not None:
                             prof.add_phase("visited",
                                            time.perf_counter() - t0)
@@ -220,14 +365,15 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 if not found_successor:
                     violations.append(("deadlock", _DEADLOCK_MESSAGE,
                                        depth, sfp, "<stuck>"))
+            for fp in route:
+                psfp, plabel, pdepth = proposals[fp]
+                outbox[fp % n_workers].append((fp, psfp, plabel, pdepth))
             conn.send(("done", {
                 "wave": wave_no,
-                "accepted": len(accepted),
-                "visited": len(visited),
+                "accepted": len(tasks),
                 "transitions": transitions,
                 "max_depth": max_depth,
                 "outbox": dict(outbox),
-                "local_pending": len(local_next),
                 "violations": violations,
                 "inv_evals": sum(checker._invariant_evals.values()),
                 "seconds": time.perf_counter() - started,
@@ -241,9 +387,6 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 "visited": list(visited),
                 "parents": {fp: list(entry)
                             for fp, entry in parents.items()},
-                "frontier": [
-                    [fp, state_to_jsonable(state), pfp, label, depth]
-                    for fp, state, pfp, label, depth in local_next],
                 "handler_fires": dict(checker._handler_fires),
                 "invariant_evals": dict(checker._invariant_evals),
             }))
@@ -302,6 +445,7 @@ class ParallelChecker:
         fault_budget=None,
         profiler=None,
         atlas=None,
+        engine: str = "fast",
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -333,7 +477,8 @@ class ParallelChecker:
             channel_cap=channel_cap,
             interpreter_factory=interpreter_factory,
             fingerprint_states=True, fingerprint_fn=fingerprint_fn,
-            fault_budget=fault_budget, profiler=profiler, atlas=atlas)
+            fault_budget=fault_budget, profiler=profiler, atlas=atlas,
+            engine=engine)
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -365,23 +510,22 @@ class ParallelChecker:
                 f"{self.resume}: checkpoint is for a different "
                 f"configuration ({diffs})")
 
-    def _write_checkpoint(self, path, conns, pending, wave, stats) -> None:
+    def _write_checkpoint(self, path, conns, meta, wave, stats) -> None:
         if self.profiler is not None:
             started = time.perf_counter()
             try:
                 self._write_checkpoint_inner(
-                    path, conns, pending, wave, stats)
+                    path, conns, meta, wave, stats)
             finally:
                 self.profiler.add_phase(
                     "checkpoint_io", time.perf_counter() - started)
             return
-        self._write_checkpoint_inner(path, conns, pending, wave, stats)
+        self._write_checkpoint_inner(path, conns, meta, wave, stats)
 
-    def _write_checkpoint_inner(self, path, conns, pending, wave,
+    def _write_checkpoint_inner(self, path, conns, meta, wave,
                                 stats) -> None:
         visited: list[str] = []
         parents: dict[str, list] = {}
-        frontier: list = []
         invariant_evals = dict(stats["invariant_evals"])
         handler_fires = dict(stats["handler_fires"])
         for conn in conns:
@@ -391,19 +535,26 @@ class ParallelChecker:
             for fp, (pfp, label) in shard["parents"].items():
                 parents[f"{fp:016x}"] = [
                     None if pfp is None else f"{pfp:016x}", label]
-            for fp, state_json, pfp, label, depth in shard["frontier"]:
-                frontier.append([
-                    f"{fp:016x}", state_json,
-                    None if pfp is None else f"{pfp:016x}", label, depth])
             for name, count in shard["invariant_evals"].items():
                 invariant_evals[name] = invariant_evals.get(name, 0) + count
             for name, count in shard["handler_fires"].items():
                 handler_fires[name] = handler_fires.get(name, 0) + count
-        # Candidates the master routed but no worker has consumed yet.
-        for batch in pending:
-            for fp, state, pfp, label, depth in batch:
+        # The pending frontier is metadata; materialize the states from
+        # the sender stashes so the on-disk format stays full-state.
+        by_sender: dict = defaultdict(list)
+        for batch in meta:
+            for fp, _pfp, _label, _depth, sender in batch:
+                by_sender[sender].append(fp)
+        states: dict = {}
+        for sender, fps in sorted(by_sender.items()):
+            conns[sender].send(("fetch", fps))
+            _, pairs = conns[sender].recv()
+            states.update(pairs)
+        frontier: list = []
+        for batch in meta:
+            for fp, pfp, label, depth, _sender in batch:
                 frontier.append([
-                    f"{fp:016x}", state_to_jsonable(state),
+                    f"{fp:016x}", state_to_jsonable(states[fp]),
                     None if pfp is None else f"{pfp:016x}", label, depth])
         payload = dict(self._config_echo())
         payload.update({
@@ -462,7 +613,7 @@ class ParallelChecker:
                     "elapsed": 0.0, "invariant_evals": {},
                     "handler_fires": {}}
         loads: list[tuple[list, dict]] = [([], {}) for _ in range(n)]
-        pending: list[list] = [[] for _ in range(n)]
+        seeds: list[list] = [[] for _ in range(n)]
 
         if self.resume:
             payload = load_checkpoint(self.resume)
@@ -481,7 +632,7 @@ class ParallelChecker:
                     payload["frontier"]):
                 fp = int(fp_hex, 16)
                 pfp = None if pfp_hex is None else int(pfp_hex, 16)
-                pending[fp % n].append(
+                seeds[fp % n].append(
                     (fp, state_from_jsonable(state_json), pfp, label, depth))
         else:
             initial = initial_global_state(
@@ -489,7 +640,7 @@ class ParallelChecker:
                 template.home_of, template.events.initial,
                 faults=template.fault_budget)
             fp0 = template.fingerprint_fn(initial)
-            pending[fp0 % n].append((fp0, initial, None, "<initial>", 0))
+            seeds[fp0 % n].append((fp0, initial, None, "<initial>", 0))
 
         if "fork" in multiprocessing.get_all_start_methods():
             ctx = multiprocessing.get_context("fork")
@@ -508,6 +659,34 @@ class ParallelChecker:
             conns.append(parent_conn)
             procs.append(proc)
 
+        interrupted = False
+
+        def call_all(ops):
+            """Send ``ops[i]`` to worker i (None skips) and collect one
+            reply each.  A Ctrl-C mid-phase flags ``interrupted`` and
+            still drains the phase, so the master always reaches the
+            next layer boundary with consistent worker state."""
+            nonlocal interrupted
+            replies: list = [None] * n
+            sent = [False] * n
+            while True:
+                try:
+                    for i, conn in enumerate(conns):
+                        if ops[i] is not None and not sent[i]:
+                            conn.send(ops[i])
+                            sent[i] = True
+                    for i, conn in enumerate(conns):
+                        if ops[i] is None or replies[i] is not None:
+                            continue
+                        if interrupted:
+                            if conn.poll(300):
+                                replies[i] = conn.recv()[1]
+                        else:
+                            replies[i] = conn.recv()[1]
+                    return replies
+                except KeyboardInterrupt:
+                    interrupted = True
+
         try:
             if self.resume:
                 for i, conn in enumerate(conns):
@@ -516,13 +695,13 @@ class ParallelChecker:
                     conn.recv()
 
             wave = baseline["wave"]
-            total_states = len(payload["visited"]) if self.resume else 0
             transitions = baseline["transitions"]
             max_depth = baseline["max_depth"]
             hit_limit = False
             violation_record = None
-            last_bucket = total_states // self.progress_every
-            last_replies: list = []
+            prof = self.profiler
+            if prof is not None:
+                prof.begin()
 
             def stats_now():
                 return {
@@ -534,93 +713,187 @@ class ParallelChecker:
                     "handler_fires": dict(baseline["handler_fires"]),
                 }
 
-            candidates: list[list] = [[] for _ in range(n)]
-            sent = [False] * n
-            replies: list = [None] * n
-            prof = self.profiler
+            # Seed the first layer: the initial state, or a resumed
+            # checkpoint's frontier.  Acceptance (dedupe, parent
+            # pointers, invariants) happens at the owner exactly as it
+            # will for every later layer.
+            seed_started = time.perf_counter()
+            seed_replies = call_all([("seed", seeds[i]) for i in range(n)])
+            total_states = sum(r["visited"] for r in seed_replies if r)
+            max_depth = max([max_depth] + [r["max_depth"]
+                                           for r in seed_replies if r])
+            ready_counts = [r["ready"] if r else 0 for r in seed_replies]
+            pending_violations = [v for r in seed_replies if r
+                                  for v in r["violations"]]
             if prof is not None:
-                prof.begin()
-            try:
-                while True:
-                    candidates, pending = pending, [[] for _ in range(n)]
-                    sent = [False] * n
-                    replies = [None] * n
-                    wave_started = time.perf_counter()
-                    for i, conn in enumerate(conns):
-                        conn.send(("wave", wave, candidates[i]))
-                        sent[i] = True
-                    for i, conn in enumerate(conns):
-                        replies[i] = conn.recv()[1]
-                    wave_no = wave
-                    wave += 1
-                    last_replies = replies
-                    total_states = sum(r["visited"] for r in replies)
-                    transitions = baseline["transitions"] + sum(
-                        r["transitions"] for r in replies)
-                    max_depth = max([baseline["max_depth"]]
-                                    + [r["max_depth"] for r in replies])
-                    frontier_size = sum(r["local_pending"] for r in replies)
-                    for reply in replies:
-                        for owner, batch in reply["outbox"].items():
-                            pending[owner].extend(batch)
-                            frontier_size += len(batch)
-                            if prof is not None:
-                                prof.add_cross_shard(
-                                    len(batch), len(pickle.dumps(batch)))
-                    if prof is not None:
-                        prof.record_wave(
-                            wave_no, time.perf_counter() - wave_started,
-                            [{"id": i, "busy_seconds": r["seconds"],
-                              "accepted": r["accepted"]}
-                             for i, r in enumerate(replies)])
-                        prof.sample(total_states, frontier_size,
-                                    max_depth, transitions)
-                    if (self.progress_stream is not None
-                            and total_states // self.progress_every
-                            > last_bucket):
-                        last_bucket = total_states // self.progress_every
-                        self._report_progress(
-                            total_states, frontier_size, max_depth,
-                            transitions, start, baseline, replies)
-                    violations = [v for r in replies for v in r["violations"]]
-                    if violations:
-                        violation_record = min(violations,
-                                               key=_violation_rank)
-                        break
-                    if total_states >= template.max_states:
-                        hit_limit = True
-                        if self.checkpoint_out:
-                            self._write_checkpoint(
-                                self.checkpoint_out, conns, pending,
-                                wave, stats_now())
-                        break
-                    if frontier_size == 0:
-                        break
-            except KeyboardInterrupt:
-                # Finish the in-flight wave so the checkpoint lands on a
-                # clean layer boundary, then persist and re-raise.
-                for i, conn in enumerate(conns):
-                    if sent[i] and replies[i] is None and conn.poll(300):
-                        replies[i] = conn.recv()[1]
-                for i, reply in enumerate(replies):
-                    if reply is None:
+                prof.record_wave(
+                    wave, time.perf_counter() - seed_started,
+                    [{"id": i,
+                      "busy_seconds": r["seconds"] if r else 0.0,
+                      "accepted": 0}
+                     for i, r in enumerate(seed_replies)])
+
+            last_bucket = total_states // self.progress_every
+            last_replies: list = []
+
+            while True:
+                cycle_started = time.perf_counter()
+
+                # Balance the coming expansion: relocate tasks from the
+                # richest ready set to the poorest when the gap is worth
+                # the round-trips.  Based only on deterministic counts,
+                # so results stay run-to-run identical.
+                if n > 1 and not interrupted:
+                    rich = max(range(n), key=lambda i: ready_counts[i])
+                    poor = min(range(n), key=lambda i: ready_counts[i])
+                    gap = ready_counts[rich] - ready_counts[poor]
+                    if gap >= _STEAL_THRESHOLD:
+                        count = gap // 2
+                        ops: list = [None] * n
+                        ops[rich] = ("donate", count)
+                        tasks = call_all(ops)[rich] or []
+                        if tasks:
+                            ops = [None] * n
+                            ops[poor] = ("take", tasks)
+                            call_all(ops)
+                            ready_counts[rich] -= len(tasks)
+                            ready_counts[poor] += len(tasks)
+
+                wave_no = wave
+                expand_replies = call_all([("expand", wave_no)] * n)
+                wave += 1
+                expand_wall = time.perf_counter() - cycle_started
+                last_replies = expand_replies
+                transitions = baseline["transitions"] + sum(
+                    r["transitions"] for r in expand_replies if r)
+                max_depth = max([max_depth] + [r["max_depth"]
+                                               for r in expand_replies if r])
+
+                # Route successor metadata (fingerprints only; the
+                # states wait in the sender stashes).
+                meta: list[list] = [[] for _ in range(n)]
+                frontier_size = 0
+                for sender, reply in enumerate(expand_replies):
+                    if not reply:
                         continue
                     for owner, batch in reply["outbox"].items():
-                        pending[owner].extend(batch)
-                for i in range(n):
-                    if not sent[i]:
-                        pending[i].extend(candidates[i])
-                done = [r for r in replies if r is not None]
-                if done:
-                    transitions = baseline["transitions"] + sum(
-                        r["transitions"] for r in done)
-                    max_depth = max([max_depth]
-                                    + [r["max_depth"] for r in done])
-                if self.checkpoint_out:
-                    self._write_checkpoint(
-                        self.checkpoint_out, conns, pending,
-                        wave + 1, stats_now())
-                raise
+                        meta[owner].extend(
+                            (fp, pfp, label, depth, sender)
+                            for fp, pfp, label, depth in batch)
+                        frontier_size += len(batch)
+                        if prof is not None:
+                            prof.add_cross_shard(
+                                len(batch), len(pickle.dumps(batch)))
+
+                if prof is not None:
+                    prof.sample(total_states, frontier_size, max_depth,
+                                transitions)
+                if (self.progress_stream is not None
+                        and total_states // self.progress_every
+                        > last_bucket):
+                    last_bucket = total_states // self.progress_every
+                    self._report_progress(
+                        total_states, frontier_size, max_depth,
+                        transitions, start, baseline, expand_replies)
+
+                def record_partial_wave():
+                    if prof is not None:
+                        prof.record_wave(
+                            wave_no, expand_wall,
+                            [{"id": i,
+                              "busy_seconds": r["seconds"] if r else 0.0,
+                              "accepted": r["accepted"] if r else 0}
+                             for i, r in enumerate(expand_replies)])
+
+                if interrupted:
+                    # The layer boundary is clean here: every accepted
+                    # state is expanded, every pending candidate is in
+                    # ``meta`` with its state stashed at the sender.
+                    record_partial_wave()
+                    if self.checkpoint_out:
+                        self._write_checkpoint(
+                            self.checkpoint_out, conns, meta, wave,
+                            stats_now())
+                    raise KeyboardInterrupt
+
+                violations = pending_violations + [
+                    v for r in expand_replies if r for v in r["violations"]]
+                if violations:
+                    violation_record = min(violations, key=_violation_rank)
+                    record_partial_wave()
+                    break
+                if total_states >= template.max_states:
+                    hit_limit = True
+                    record_partial_wave()
+                    if self.checkpoint_out:
+                        self._write_checkpoint(
+                            self.checkpoint_out, conns, meta, wave,
+                            stats_now())
+                    break
+                if frontier_size == 0:
+                    record_partial_wave()
+                    break
+
+                # Owners dedupe the candidates; fresh own-shard states
+                # resolve locally, foreign ones are staged per sender.
+                ingest_replies = call_all(
+                    [("ingest", meta[i]) for i in range(n)])
+
+                # Fetch only the states that survived dedupe, then hand
+                # them to their owners.
+                need_by_sender: list[list] = [[] for _ in range(n)]
+                for owner, reply in enumerate(ingest_replies):
+                    if not reply:
+                        continue
+                    for sender, fps in reply["need"].items():
+                        need_by_sender[sender].append((owner, fps))
+                fetch_ops: list = [
+                    ("fetch", [fp for _owner, fps in need_by_sender[i]
+                               for fp in fps])
+                    if need_by_sender[i] else None
+                    for i in range(n)]
+                fetch_replies = call_all(fetch_ops)
+                adopt_batches: list[list] = [[] for _ in range(n)]
+                for sender in range(n):
+                    if fetch_ops[sender] is None or not fetch_replies[sender]:
+                        continue
+                    fetched = dict(fetch_replies[sender])
+                    for owner, fps in need_by_sender[sender]:
+                        adopt_batches[owner].extend(
+                            (fp, fetched[fp]) for fp in fps)
+                if prof is not None:
+                    for batch in adopt_batches:
+                        if batch:
+                            # Entries were already counted at routing;
+                            # this adds the state-shipping bytes.
+                            prof.add_cross_shard(0, len(pickle.dumps(batch)))
+                adopt_replies = call_all(
+                    [("adopt", adopt_batches[i]) for i in range(n)])
+
+                total_states = sum(r["visited"] for r in adopt_replies if r)
+                max_depth = max([max_depth] + [r["max_depth"]
+                                               for r in adopt_replies if r])
+                ready_counts = [r["ready"] if r else 0
+                                for r in adopt_replies]
+                pending_violations = (
+                    [v for r in ingest_replies if r
+                     for v in r["violations"]]
+                    + [v for r in adopt_replies if r
+                       for v in r["violations"]])
+                if prof is not None:
+                    prof.record_wave(
+                        wave_no, time.perf_counter() - cycle_started,
+                        [{"id": i,
+                          "busy_seconds": (
+                              (expand_replies[i]["seconds"]
+                               if expand_replies[i] else 0.0)
+                              + (ingest_replies[i]["seconds"]
+                                 if ingest_replies[i] else 0.0)
+                              + (adopt_replies[i]["seconds"]
+                                 if adopt_replies[i] else 0.0)),
+                          "accepted": (expand_replies[i]["accepted"]
+                                       if expand_replies[i] else 0)}
+                         for i in range(n)])
 
             violation = None
             if violation_record is not None:

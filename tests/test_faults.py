@@ -451,6 +451,29 @@ class TestCheckerFaults:
         final = result.violation.state
         assert final.messages_in_flight() == 0
 
+    # Pinned explored-space sizes under each fault budget, verified
+    # identical on the fast and legacy engines.  Fault successors run
+    # through ``_edit_channel`` (the single-row channel-matrix rebuild),
+    # so any edit that perturbs the rebuilt state -- or dedupes it
+    # differently -- shows up here as a count shift.
+    FAULT_SPACE = {
+        ("stache", (1, 0)): (False, 43, 77),
+        ("stache", (0, 1)): (False, 45, 72),
+        ("stache", (1, 1)): (False, 68, 123),
+        ("lcm_mcc", (1, 0)): (False, 180, 390),
+        ("lcm_mcc", (0, 1)): (False, 137, 300),
+        ("lcm_mcc", (1, 1)): (False, 202, 488),
+    }
+
+    @pytest.mark.parametrize("name,budget", sorted(FAULT_SPACE))
+    def test_fault_bounded_space_is_pinned(self, name, budget):
+        expected = self.FAULT_SPACE[(name, budget)]
+        for engine in ("fast", "legacy"):
+            result = check(name, CheckOptions(
+                faults=FaultBudget(*budget), engine=engine))
+            assert (result.ok, result.states_explored,
+                    result.transitions) == expected, engine
+
 
 # ---------------------------------------------------------------------------
 # CLI surface

@@ -1,5 +1,6 @@
 """Tests for the repository tools and emitter golden files."""
 
+import json
 import os
 import subprocess
 import sys
@@ -56,6 +57,76 @@ class TestTools:
         assert "# Protocol Catalog" in text
         for name in ("stache", "lcm_both", "dash", "stache_evict"):
             assert f"`{name}`" in text
+
+    def _bench_artifact(self, path, rate, wall, spread_pct):
+        payload = {
+            "schema": "teapot-bench/1",
+            "benchmark": "exploration profiler overhead, Table 3 LCM MCC",
+            "cpu_count": 1,
+            "platform": "test",
+            "python": "3.11",
+            "configs": {
+                "baseline": {
+                    "wall_seconds": wall,
+                    "wall_spread_pct": spread_pct,
+                    "states": 789,
+                    "states_per_second": rate,
+                },
+            },
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        return str(path)
+
+    def test_bench_compare_gate_absorbs_recorded_spread(self, tmp_path):
+        """The previously-flaky case: a 25% states/s drop on a row whose
+        own repeats spread 34.5% min-to-max is indistinguishable from
+        noise and must not fail the 20% gate."""
+        base = self._bench_artifact(tmp_path / "base.json",
+                                    rate=3575.0, wall=0.22, spread_pct=34.5)
+        cand = self._bench_artifact(tmp_path / "cand.json",
+                                    rate=2681.0, wall=0.29, spread_pct=30.0)
+        result = run_tool(
+            "bench_compare.py", base, cand, "--threshold", "0.2",
+            "--gate", "configs.baseline.states_per_second")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "noise allows" in result.stdout
+        # The fixed-threshold behaviour is still reachable explicitly.
+        strict = run_tool(
+            "bench_compare.py", base, cand, "--threshold", "0.2",
+            "--ignore-spread",
+            "--gate", "configs.baseline.states_per_second")
+        assert strict.returncode == 1
+
+    def test_bench_compare_gate_still_catches_real_regressions(
+            self, tmp_path):
+        base = self._bench_artifact(tmp_path / "base.json",
+                                    rate=3575.0, wall=0.22, spread_pct=34.5)
+        cand = self._bench_artifact(tmp_path / "cand.json",
+                                    rate=700.0, wall=1.12, spread_pct=30.0)
+        result = run_tool(
+            "bench_compare.py", base, cand, "--threshold", "0.2",
+            "--gate", "configs.baseline.states_per_second")
+        assert result.returncode == 1
+        assert "REGRESSION" in result.stdout
+
+    def test_bench_compare_gate_without_spread_uses_threshold(
+            self, tmp_path):
+        """Rows that never recorded a spread keep the fixed threshold."""
+        for path in ("base.json", "cand.json"):
+            payload = {"schema": "teapot-bench/1",
+                       "configs": {"baseline": {"states_per_second": 1000.0}}}
+            with open(tmp_path / path, "w") as handle:
+                json.dump(payload, handle)
+        with open(tmp_path / "cand.json", "w") as handle:
+            json.dump({"schema": "teapot-bench/1",
+                       "configs": {"baseline":
+                                   {"states_per_second": 700.0}}}, handle)
+        result = run_tool(
+            "bench_compare.py", str(tmp_path / "base.json"),
+            str(tmp_path / "cand.json"), "--threshold", "0.2",
+            "--gate", "configs.baseline.states_per_second")
+        assert result.returncode == 1
 
     def test_generate_lcm_variants_is_idempotent(self):
         paths = [

@@ -1,0 +1,162 @@
+"""Property tests for the fast engine's mutate-and-undo journal.
+
+The serial rewrite replaced copy-the-world successor construction with
+:class:`~repro.verify.model.ActionScratch`: a per-action journal over a
+frozen parent ``GlobalState``.  Its soundness rests on two properties
+this file drives with hypothesis across real reachable states:
+
+- *undo is total*: after any mutation sequence, ``undo()`` makes the
+  scratch read back as the parent exactly (structurally equal, same
+  cached hash, same fingerprint);
+- *the parent is inviolate*: no mutation sequence, frozen or not, may
+  leak through the lazy copy-on-first-touch journal into the parent.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols import compile_named_protocol
+from repro.runtime.context import Message
+from repro.tempest.memory import AccessTag
+from repro.verify.checker import _KEEP_GEN, ModelChecker
+from repro.verify.fingerprint import fingerprint, state_to_jsonable
+from repro.verify.model import ActionEffects, ActionScratch, \
+    initial_global_state
+
+
+def reachable(name, limit=40, reorder=1):
+    """(checker, state) pairs from a shallow BFS of a real protocol."""
+    checker = ModelChecker(compile_named_protocol(name), n_nodes=2,
+                           n_blocks=1, reorder_bound=reorder)
+    state = initial_global_state(
+        checker.protocol, checker.n_nodes, checker.n_blocks,
+        checker.home_of, checker.events.initial,
+        faults=checker.fault_budget)
+    pool = [state]
+    seen = {state}
+    frontier = [state]
+    while frontier and len(pool) < limit:
+        next_frontier = []
+        for current in frontier:
+            try:
+                successors = list(checker._successors(current))
+            except Exception:
+                continue
+            for _label, successor in successors:
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                pool.append(successor)
+                next_frontier.append(successor)
+                if len(pool) >= limit:
+                    break
+            if len(pool) >= limit:
+                break
+        frontier = next_frontier
+    return [(checker, found) for found in pool]
+
+
+POOL = reachable("stache") + reachable("lcm_mcc")
+
+ACCESS = st.sampled_from([tag.value for tag in AccessTag])
+BLOCKS = st.integers(min_value=0, max_value=0)       # pool is n_blocks=1
+NODES = st.integers(min_value=0, max_value=1)        # pool is n_nodes=2
+SCALARS = st.one_of(st.integers(min_value=-4, max_value=4),
+                    st.sampled_from(["a", "b"]))
+
+MESSAGES = st.builds(
+    Message,
+    tag=st.sampled_from(["REQ", "ACK", "INV", "DATA"]),
+    block=BLOCKS, src=NODES, dst=NODES,
+    payload=st.tuples(st.integers(min_value=0, max_value=3)))
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("set_state"), BLOCKS,
+                  st.sampled_from(["Home_Idle", "Cache_Invalid", "X_Test"]),
+                  st.tuples(st.integers(min_value=0, max_value=3))),
+        st.tuples(st.just("set_access"), BLOCKS, ACCESS),
+        st.tuples(st.just("set_info"), BLOCKS,
+                  st.sampled_from(["owner", "pending", "count"]), SCALARS),
+        st.tuples(st.just("queue_push"), BLOCKS, MESSAGES),
+        st.tuples(st.just("queue_pop"), BLOCKS),
+        st.tuples(st.just("send"), MESSAGES),
+        st.tuples(st.just("block_on"), st.one_of(st.none(), BLOCKS)),
+    ),
+    max_size=12)
+
+
+def apply_op(scratch, op):
+    kind = op[0]
+    if kind == "set_state":
+        record = scratch.record(op[1])
+        record["state_name"] = op[2]
+        record["state_args"] = op[3]
+        record["state_changed"] = True
+    elif kind == "set_access":
+        scratch.record(op[1])["access"] = op[2]
+    elif kind == "set_info":
+        scratch.record(op[1])["info"][op[2]] = op[3]
+    elif kind == "queue_push":
+        scratch.record(op[1])["queue"].append(op[2])
+    elif kind == "queue_pop":
+        queue = scratch.record(op[1])["queue"]
+        if queue:
+            queue.pop(0)
+    elif kind == "send":
+        scratch.sends.append(op[1])
+    elif kind == "block_on":
+        scratch.blocked_on = op[1]
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=st.integers(min_value=0, max_value=len(POOL) - 1),
+       node=NODES, ops=OPS)
+def test_apply_then_undo_restores_parent(index, node, ops):
+    _checker, state = POOL[index]
+    before_hash = hash(state)
+    before_fp = fingerprint(state)
+    scratch = ActionScratch(state, node)
+    for op in ops:
+        apply_op(scratch, op)
+    scratch.undo()
+    assert scratch.changed_views() == ()
+    assert scratch.sends == []
+    assert scratch.blocked_on == state.apps[node].blocked_on
+    frozen = scratch.freeze()
+    assert frozen == state
+    assert hash(frozen) == before_hash
+    assert fingerprint(frozen) == before_fp
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=st.integers(min_value=0, max_value=len(POOL) - 1),
+       node=NODES, ops=OPS)
+def test_mutations_never_leak_into_parent(index, node, ops):
+    _checker, state = POOL[index]
+    snapshot = state_to_jsonable(state)
+    before_hash = hash(state)
+    scratch = ActionScratch(state, node)
+    for op in ops:
+        apply_op(scratch, op)
+    scratch.freeze()        # materializing the successor must not help
+    assert state_to_jsonable(state) == snapshot
+    assert hash(state) == before_hash
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=st.integers(min_value=0, max_value=len(POOL) - 1),
+       node=NODES, ops=OPS)
+def test_freeze_matches_incremental_replay(index, node, ops):
+    """``freeze()`` (the slow reference) and the checker's tuple-surgery
+    replay of the distilled effects must build the same successor."""
+    checker, state = POOL[index]
+    scratch = ActionScratch(state, node)
+    for op in ops:
+        apply_op(scratch, op)
+    effects = ActionEffects(scratch.changed_views(), tuple(scratch.sends),
+                            scratch.blocked_on, (), None)
+    frozen = scratch.freeze()
+    replayed = checker._build_successor(state, node, effects,
+                                        _KEEP_GEN, None)
+    assert replayed == frozen
+    assert hash(replayed) == hash(frozen)
