@@ -34,7 +34,8 @@ from the top-level ``repro`` package; those names still work but emit
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, replace as _dc_replace
 from typing import IO, Optional, Union
 
 from repro.compiler.pipeline import compile_source
@@ -44,7 +45,7 @@ from repro.runtime.protocol import CompiledProtocol, Flavor, OptLevel
 from repro.tempest.machine import Machine, MachineConfig
 from repro.tempest.network import NetworkConfig
 from repro.tempest.stats import MachineStats
-from repro.verify.checker import CheckResult, ModelChecker
+from repro.verify.checker import CheckResult, ModelChecker, SymmetryError
 from repro.verify.events import EventGenerator, events_for_protocol
 from repro.verify.invariants import standard_invariants
 from repro.verify.parallel import ParallelChecker
@@ -110,8 +111,95 @@ class FaultOptions:
 
 
 @dataclass(frozen=True)
+class ReductionOptions:
+    """State-space reduction (docs/VERIFICATION.md, "State-space
+    reduction").
+
+    ``symmetry`` canonicalizes every state under permutation of the
+    free (non-home) caching nodes before the visited-set lookup, so one
+    representative per orbit is explored; counterexample traces stay
+    concrete and replay on an unreduced checker.  ``por`` prunes
+    commuting independent transitions with sleep sets; it preserves the
+    reachable state set exactly, so verdicts, deadlocks, and invariant
+    coverage are unchanged.  Both are sound for safety checking and
+    rejected under ``liveness``; ``por`` is serial-only.
+    """
+
+    symmetry: bool = False
+    por: bool = False
+
+
+@dataclass(frozen=True)
+class ProgressOptions:
+    """Progress reporting while a check runs.
+
+    ``enabled`` turns on periodic progress lines (to ``stream``, or
+    stderr when ``stream`` is None); an explicit ``stream`` enables
+    reporting by itself, matching the old ``progress_stream`` kwarg.
+    """
+
+    enabled: bool = False
+    every: int = 10_000
+    stream: Optional[IO] = None
+
+    def __bool__(self) -> bool:
+        # Old code tested the flat bool `options.progress`; keep that
+        # reading truthful for the grouped record.
+        return self.enabled or self.stream is not None
+
+    def effective_stream(self) -> Optional[IO]:
+        if self.stream is not None:
+            return self.stream
+        return sys.stderr if self.enabled else None
+
+
+@dataclass(frozen=True)
+class CheckpointOptions:
+    """Parallel only: dump a resumable JSON checkpoint on truncation or
+    interrupt (``out``) / continue from one (``resume``)."""
+
+    out: Optional[str] = None
+    resume: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ArtifactOptions:
+    """Optional run artifacts attached to the :class:`CheckResult`.
+
+    ``profile`` arms an exploration profiler (repro.obs.profile) and
+    attaches a CheckProfile to ``CheckResult.profile``; ``atlas``
+    records the explored state graph (repro.verify.atlas) onto
+    ``CheckResult.atlas``.  Both are observably free when off: the
+    checkers run their uninstrumented code paths.
+    """
+
+    profile: bool = False
+    # Extra timeline samples every this many states inside large layers.
+    profile_sample_every: int = 2000
+    atlas: bool = False
+    # Bottom-k sketch caps: the atlas is exact below these and a
+    # uniform digest-keyed sample (with logged truncation) above.
+    atlas_state_cap: int = 100_000
+    atlas_edge_cap: int = 250_000
+
+
+# Sentinel distinguishing "kwarg not passed" from any real value in the
+# deprecated flat-kwarg shims below.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
 class CheckOptions:
-    """Model-checking configuration (one Table 3 cell)."""
+    """Model-checking configuration (one Table 3 cell).
+
+    The auxiliary knobs live in grouped sub-records -- ``reduction``,
+    ``progress``, ``checkpoint``, ``artifacts`` -- each a frozen
+    dataclass of its own.  The pre-grouping flat kwargs (``progress=True``,
+    ``progress_every=``, ``checkpoint_out=``, ``resume=``, ``profile=``,
+    ``profile_sample_every=``, ``atlas=``, ``atlas_state_cap=``,
+    ``atlas_edge_cap=``) still construct the same configuration but emit
+    :class:`DeprecationWarning`; see the migration table in DESIGN.md.
+    """
 
     nodes: int = 2
     addresses: int = 1
@@ -125,41 +213,102 @@ class CheckOptions:
     coherent: Optional[bool] = None
     channel_cap: int = 4
     # Serial hash compaction: key the visited set by 64-bit fingerprints.
-    # The parallel checker always fingerprints.
+    # The parallel checker always fingerprints, as does symmetry
+    # reduction (the orbit quotient is keyed by canonical fingerprint).
     fingerprints: bool = False
     # Successor engine: "fast" (mutate-and-undo journals, interned
     # states, memoized action effects) or "legacy" (the original
     # freeze-per-successor path, kept as a differential oracle).
     engine: str = "fast"
-    progress: bool = False
-    progress_every: int = 10_000
-    progress_stream: Optional[IO] = None
-    # Parallel only: dump a resumable JSON checkpoint on truncation or
-    # interrupt / continue from one.
-    checkpoint_out: Optional[str] = None
-    resume: Optional[str] = None
-    # Exploration profiling (repro.obs.profile): True arms a profiler
-    # and attaches the CheckProfile to CheckResult.profile; False is
-    # observably free (the checkers run their unprofiled code paths).
-    profile: bool = False
-    # Extra timeline samples every this many states inside large layers.
-    profile_sample_every: int = 2000
-    # State-space atlas recording (repro.verify.atlas): True attaches a
-    # StateAtlas to CheckResult.atlas -- every explored transition plus
-    # per-state annotations (depth, protocol-state vector, occupancy,
-    # symmetry-orbit key).  Same contract as profile: False is
-    # observably free.
-    atlas: bool = False
-    # Bottom-k sketch caps: the atlas is exact below these and a
-    # uniform digest-keyed sample (with logged truncation) above.
-    atlas_state_cap: int = 100_000
-    atlas_edge_cap: int = 250_000
+    # Grouped sub-options.  `progress` also accepts a bare bool (the
+    # pre-grouping spelling) and normalizes it with a warning.
+    reduction: ReductionOptions = ReductionOptions()
+    progress: Union[ProgressOptions, bool] = ProgressOptions()
+    checkpoint: CheckpointOptions = CheckpointOptions()
+    artifacts: ArtifactOptions = ArtifactOptions()
     events: Optional[EventGenerator] = None
     # Fault-bounded exploration: in every state the checker may also
     # drop or duplicate any in-flight message, up to this per-path
     # budget.  None = classic fault-free checking.
     faults: Optional[FaultBudget] = None
     compile: CompileOptions = CompileOptions()
+    # -- deprecated flat kwargs (DeprecationWarning shims) ---------------
+    # Plain hidden fields, not InitVars: dataclasses.replace() refuses
+    # to copy InitVars, and derived-configuration via replace() is the
+    # documented idiom for these frozen records.  __post_init__ folds
+    # any provided value into its group and resets the shim to _UNSET,
+    # so replace() on an already-normalized record neither re-folds nor
+    # re-warns.
+    progress_every: object = field(default=_UNSET, repr=False,
+                                   compare=False)
+    progress_stream: object = field(default=_UNSET, repr=False,
+                                    compare=False)
+    checkpoint_out: object = field(default=_UNSET, repr=False,
+                                   compare=False)
+    resume: object = field(default=_UNSET, repr=False, compare=False)
+    profile: object = field(default=_UNSET, repr=False, compare=False)
+    profile_sample_every: object = field(default=_UNSET, repr=False,
+                                         compare=False)
+    atlas: object = field(default=_UNSET, repr=False, compare=False)
+    atlas_state_cap: object = field(default=_UNSET, repr=False,
+                                    compare=False)
+    atlas_edge_cap: object = field(default=_UNSET, repr=False,
+                                   compare=False)
+
+    def __post_init__(self):
+        progress_every = self.progress_every
+        progress_stream = self.progress_stream
+        checkpoint_out = self.checkpoint_out
+        resume = self.resume
+        profile = self.profile
+        profile_sample_every = self.profile_sample_every
+        atlas = self.atlas
+        atlas_state_cap = self.atlas_state_cap
+        atlas_edge_cap = self.atlas_edge_cap
+        for shim in ("progress_every", "progress_stream",
+                     "checkpoint_out", "resume", "profile",
+                     "profile_sample_every", "atlas", "atlas_state_cap",
+                     "atlas_edge_cap"):
+            object.__setattr__(self, shim, _UNSET)
+        deprecated = []
+
+        def fold(group_attr, group, updates):
+            changed = {field: value for field, (kwarg, value)
+                       in updates.items() if value is not _UNSET}
+            if changed:
+                deprecated.extend(kwarg for _field, (kwarg, value)
+                                  in updates.items()
+                                  if value is not _UNSET)
+                object.__setattr__(
+                    self, group_attr,
+                    _dc_replace(group, **changed))
+
+        progress = self.progress
+        if isinstance(progress, bool):
+            deprecated.append("progress=<bool>")
+            progress = ProgressOptions(enabled=progress)
+            object.__setattr__(self, "progress", progress)
+        fold("progress", progress, {
+            "every": ("progress_every", progress_every),
+            "stream": ("progress_stream", progress_stream)})
+        fold("checkpoint", self.checkpoint, {
+            "out": ("checkpoint_out", checkpoint_out),
+            "resume": ("resume", resume)})
+        fold("artifacts", self.artifacts, {
+            "profile": ("profile", profile),
+            "profile_sample_every": ("profile_sample_every",
+                                     profile_sample_every),
+            "atlas": ("atlas", atlas),
+            "atlas_state_cap": ("atlas_state_cap", atlas_state_cap),
+            "atlas_edge_cap": ("atlas_edge_cap", atlas_edge_cap)})
+        if deprecated:
+            warnings.warn(
+                "flat CheckOptions kwargs are deprecated ("
+                + ", ".join(sorted(set(deprecated)))
+                + "); use the grouped ProgressOptions / CheckpointOptions"
+                " / ArtifactOptions records instead (migration table in"
+                " DESIGN.md)",
+                DeprecationWarning, stacklevel=3)
 
 
 @dataclass(frozen=True)
@@ -264,70 +413,100 @@ def check(target: Target,
         coherent = not (label.lower().startswith("buffered")
                         or protocol.name.lower().startswith("buffered"))
     invariants = standard_invariants(coherent=coherent)
-    progress_stream = options.progress_stream
-    if progress_stream is None and options.progress:
-        progress_stream = sys.stderr
-    profiler = None
-    if options.profile:
-        from repro.obs.profile import CheckProfiler
+    progress = options.progress
+    progress_stream = progress.effective_stream()
 
-        profiler = CheckProfiler(sample_every=options.profile_sample_every)
-    atlas = None
-    if options.atlas:
-        from repro.verify.atlas import AtlasRecorder
-
-        atlas = AtlasRecorder(state_cap=options.atlas_state_cap,
-                              edge_cap=options.atlas_edge_cap)
-
+    reduction = options.reduction
     if options.workers < 0:
         raise ValueError("CheckOptions.workers must be >= 0")
     if options.workers == 0:
-        if options.checkpoint_out or options.resume:
+        if options.checkpoint.out or options.checkpoint.resume:
             raise ValueError(
                 "checkpoint/resume requires the parallel checker "
                 "(CheckOptions.workers >= 1)")
-        return ModelChecker(
+    else:
+        if options.liveness:
+            raise ValueError(
+                "liveness checking needs the full state graph and is "
+                "serial-only (CheckOptions.workers must be 0)")
+        if reduction.por:
+            raise ValueError(
+                "partial-order reduction is serial-only: sleep sets need "
+                "globally ordered re-arrival bookkeeping the sharded "
+                "checker does not do (CheckOptions.workers must be 0)")
+
+    def run_once(symmetry: bool) -> CheckResult:
+        # Observers (profiler/atlas) are stateful accumulators; each
+        # attempt gets fresh ones so a symmetry-certification fallback
+        # rerun does not double-record.
+        artifacts = options.artifacts
+        profiler = None
+        if artifacts.profile:
+            from repro.obs.profile import CheckProfiler
+
+            profiler = CheckProfiler(
+                sample_every=artifacts.profile_sample_every)
+        atlas = None
+        if artifacts.atlas:
+            from repro.verify.atlas import AtlasRecorder
+
+            atlas = AtlasRecorder(state_cap=artifacts.atlas_state_cap,
+                                  edge_cap=artifacts.atlas_edge_cap)
+        if options.workers == 0:
+            return ModelChecker(
+                protocol,
+                n_nodes=options.nodes,
+                n_blocks=options.addresses,
+                reorder_bound=options.reorder,
+                events=events,
+                invariants=invariants,
+                max_states=options.max_states,
+                channel_cap=options.channel_cap,
+                check_progress=options.liveness,
+                progress_stream=progress_stream,
+                progress_every=progress.every,
+                fingerprint_states=options.fingerprints,
+                fault_budget=options.faults,
+                profiler=profiler,
+                atlas=atlas,
+                engine=options.engine,
+                symmetry=symmetry,
+                por=reduction.por,
+            ).run()
+        return ParallelChecker(
             protocol,
             n_nodes=options.nodes,
             n_blocks=options.addresses,
             reorder_bound=options.reorder,
             events=events,
             invariants=invariants,
+            workers=options.workers,
             max_states=options.max_states,
             channel_cap=options.channel_cap,
-            check_progress=options.liveness,
             progress_stream=progress_stream,
-            progress_every=options.progress_every,
-            fingerprint_states=options.fingerprints,
+            progress_every=progress.every,
+            checkpoint_out=options.checkpoint.out,
+            resume=options.checkpoint.resume,
             fault_budget=options.faults,
             profiler=profiler,
             atlas=atlas,
             engine=options.engine,
+            symmetry=symmetry,
         ).run()
 
-    if options.liveness:
-        raise ValueError(
-            "liveness checking needs the full state graph and is "
-            "serial-only (CheckOptions.workers must be 0)")
-    return ParallelChecker(
-        protocol,
-        n_nodes=options.nodes,
-        n_blocks=options.addresses,
-        reorder_bound=options.reorder,
-        events=events,
-        invariants=invariants,
-        workers=options.workers,
-        max_states=options.max_states,
-        channel_cap=options.channel_cap,
-        progress_stream=progress_stream,
-        progress_every=options.progress_every,
-        checkpoint_out=options.checkpoint_out,
-        resume=options.resume,
-        fault_budget=options.faults,
-        profiler=profiler,
-        atlas=atlas,
-        engine=options.engine,
-    ).run()
+    if not reduction.symmetry:
+        return run_once(False)
+    try:
+        return run_once(True)
+    except SymmetryError as error:
+        # The protocol failed the per-state symmetry certification
+        # (it makes a node-identity-dependent choice, so quotienting
+        # would be unsound).  Warn and fall back to the exact,
+        # unreduced exploration; POR (independently sound) stays on.
+        warnings.warn(
+            f"{error}; re-running without symmetry reduction",
+            RuntimeWarning, stacklevel=2)
+        return run_once(False)
 
 
 def simulate(target: Target,

@@ -155,13 +155,15 @@ def cmd_verify(args) -> int:
         workers=args.workers,
         liveness=args.liveness,
         fingerprints=args.fingerprints,
-        progress=args.progress,
-        progress_every=args.progress_every,
-        checkpoint_out=args.checkpoint_out,
-        resume=args.resume,
+        reduction=api.ReductionOptions(symmetry=args.symmetry,
+                                       por=args.por),
+        progress=api.ProgressOptions(enabled=args.progress,
+                                     every=args.progress_every),
+        checkpoint=api.CheckpointOptions(out=args.checkpoint_out,
+                                         resume=args.resume),
         faults=_parse_fault_budget(args.faults),
-        profile=bool(args.profile_out),
-        atlas=bool(args.atlas_out),
+        artifacts=api.ArtifactOptions(profile=bool(args.profile_out),
+                                      atlas=bool(args.atlas_out)),
     )
     try:
         result = api.check(protocol, options)
@@ -574,6 +576,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "64-bit state fingerprints (an order of "
                         "magnitude less memory; violation traces are "
                         "replay-validated against collisions)")
+    p.add_argument("--symmetry", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="symmetry reduction: explore one representative "
+                        "per orbit under free-caching-node permutation "
+                        "(canonical fingerprints; implies hash "
+                        "compaction; counterexamples stay concrete and "
+                        "replay unreduced); sound for safety, rejected "
+                        "with --liveness")
+    p.add_argument("--por", action=argparse.BooleanOptionalAction,
+                   default=False,
+                   help="partial-order reduction: prune commuting "
+                        "independent transitions with sleep sets "
+                        "(preserves the reachable state set, so the "
+                        "verdict is unchanged); serial only, rejected "
+                        "with --liveness")
     p.add_argument("--checkpoint-out", metavar="PATH",
                    help="with --workers: write a resumable JSON "
                         "checkpoint if the run truncates at --max-states "

@@ -32,6 +32,7 @@ from repro.verify.checker import (
     CheckResult,
     FingerprintCollisionError,
     ModelChecker,
+    SymmetryError,
     TraceReplayError,
     Violation,
     replay_labels,
@@ -55,6 +56,7 @@ __all__ = [
     "Violation",
     "TraceReplayError",
     "FingerprintCollisionError",
+    "SymmetryError",
     "replay_labels",
     "fingerprint",
     "encode_state",

@@ -32,14 +32,15 @@ it is order-independent, and merging per-worker bottom-k sketches
 yields exactly the global bottom-k.  A completed exploration therefore
 produces the identical atlas at any worker count, truncated or not.
 
-The orbit key is an *estimator*, stated as such everywhere it is
-reported.  Node ids are remapped wherever the protocol's own type
-declarations locate them -- ``Message.src``/``dst``, info fields typed
-``NODE`` or ``SharerList``, message-payload parameters typed ``NODE``
--- and only permutations fixing every home node (``home_of(b) = b %
-nodes``) are considered.  Node ids buried in suspended-continuation
-frames or parameterized state args are left as-is, so the collapse
-ratio is approximate; nothing is pruned by it, so an imperfect map can
+The orbit key is computed by the *production* symmetry canonicalizer
+(:class:`repro.verify.fingerprint.SymmetryCanonicalizer` -- the same
+complete typed remap ``CheckOptions.reduction.symmetry`` explores
+under), so the atlas's estimated collapse ratio and the reduced run's
+achieved ratio agree exactly on exhausted explorations
+(``tools/state_atlas.py`` cross-checks them).  The one estimation
+concession is the permutation cap: beyond ``DEFAULT_PERM_CAP`` free
+permutations the sketch considers a prefix of the group and the ratio
+becomes approximate; nothing is pruned by it here, so a capped map can
 only misestimate the ratio, never corrupt a verdict.
 
 Like the profiler, the recorder is a pure observer: absent (the
@@ -59,11 +60,13 @@ from collections import defaultdict
 from hashlib import blake2b
 from typing import Optional
 
-from repro.lang.builtins import T_NODE, T_SHARERS
 from repro.obs.analyze.trace import TraceError
-from repro.runtime.context import Message
-from repro.verify.fingerprint import fingerprint
-from repro.verify.model import BlockView, GlobalState
+from repro.verify.fingerprint import (
+    DEFAULT_PERM_CAP,
+    SymmetryCanonicalizer,
+    fingerprint,
+)
+from repro.verify.model import GlobalState
 
 ATLAS_KIND = "teapot-state-atlas"
 ATLAS_VERSION = 1
@@ -73,9 +76,12 @@ ATLAS_VERSION = 1
 # registered protocol exceeds these; Table-3-sized configs do not.
 DEFAULT_STATE_CAP = 100_000
 DEFAULT_EDGE_CAP = 250_000
-# Free-node permutations considered per state; 6! = 720 keeps the
-# estimator exact through 6 permutable caching nodes.
-DEFAULT_PERM_CAP = 720
+
+# Historical name: the atlas grew the canonicalizer as a private orbit
+# estimator; it was promoted to repro.verify.fingerprint when symmetry
+# reduction landed in the checkers.  Kept as an alias because tests and
+# downstream analysis code import it from here.
+OrbitCanonicalizer = SymmetryCanonicalizer
 
 # Checker rule labels (see ModelChecker._successors): deliveries and
 # fault transitions carry the full message signature; application rules
@@ -143,125 +149,6 @@ class _BottomK:
     @property
     def truncated(self) -> bool:
         return self.seen > len(self.entries)
-
-
-class OrbitCanonicalizer:
-    """Canonicalize states under home-fixing caching-node permutation.
-
-    The orbit key of a state is the minimum fingerprint over all
-    considered permutations of the *free* (non-home) nodes; states in
-    one orbit share a key, so distinct keys count symmetry classes.
-    With fewer than two free nodes only the identity remains and every
-    orbit is a singleton (ratio 1.0) -- interesting ratios need a third
-    node (see ``tools/state_atlas.py``).
-    """
-
-    def __init__(self, protocol, n_nodes: int, n_blocks: int,
-                 perm_cap: int = DEFAULT_PERM_CAP):
-        self.n_nodes = n_nodes
-        homes = {block % n_nodes for block in range(n_blocks)}
-        self.free_nodes = [n for n in range(n_nodes) if n not in homes]
-        free = self.free_nodes
-        self.perms: list[tuple] = []
-        if len(free) < 2:
-            self.method = "identity"
-        else:
-            count = 1
-            for i in range(2, len(free) + 1):
-                count *= i
-            self.method = "exact" if count <= perm_cap else "capped"
-            images = itertools.permutations(free)
-            if self.method == "capped":
-                images = itertools.islice(images, perm_cap)
-            for image in images:
-                if image == tuple(free):
-                    continue            # the identity is the state itself
-                mapping = list(range(n_nodes))
-                for old, new in zip(free, image):
-                    mapping[old] = new
-                self.perms.append(tuple(mapping))
-        # Where node ids live, per the protocol's own declarations.
-        self.node_fields = {
-            name for name, type_name in protocol.info_vars.items()
-            if type_name == T_NODE}
-        self.sharer_fields = {
-            name for name, type_name in protocol.info_vars.items()
-            if type_name == T_SHARERS}
-        self.payload_node_indices = {
-            tag: tuple(i for i, type_name in enumerate(types)
-                       if type_name == T_NODE)
-            for tag, types in protocol.messages.items()}
-
-    @property
-    def permutations(self) -> int:
-        """Permutations considered per state, identity included."""
-        return len(self.perms) + 1
-
-    def _map_node(self, mapping: tuple, value):
-        # Nobody (-1) and any non-node value pass through untouched.
-        if (isinstance(value, int) and not isinstance(value, bool)
-                and 0 <= value < self.n_nodes):
-            return mapping[value]
-        return value
-
-    def _remap_message(self, mapping: tuple, msg: Message) -> Message:
-        payload = msg.payload
-        node_indices = self.payload_node_indices.get(msg.tag, ())
-        if node_indices and payload:
-            payload = tuple(
-                self._map_node(mapping, item) if i in node_indices else item
-                for i, item in enumerate(payload))
-        return Message(msg.tag, msg.block,
-                       src=self._map_node(mapping, msg.src),
-                       dst=self._map_node(mapping, msg.dst),
-                       payload=payload, data=msg.data)
-
-    def _remap_view(self, mapping: tuple, view: BlockView) -> BlockView:
-        info = tuple(
-            (name,
-             self._map_node(mapping, value) if name in self.node_fields
-             else frozenset(self._map_node(mapping, member)
-                            for member in value)
-             if name in self.sharer_fields and isinstance(value, frozenset)
-             else value)
-            for name, value in view.info)
-        queue = tuple(self._remap_message(mapping, msg)
-                      for msg in view.queue)
-        # state_args (and any continuation frames inside them) are left
-        # untouched -- the documented estimator gap.
-        return BlockView(view.state_name, view.state_args, info,
-                         view.access, queue)
-
-    def permute(self, state: GlobalState, mapping: tuple) -> GlobalState:
-        """The state with node ``old`` renamed to ``mapping[old]``."""
-        n = self.n_nodes
-        inverse = [0] * n
-        for old, new in enumerate(mapping):
-            inverse[new] = old
-        blocks = tuple(
-            tuple(self._remap_view(mapping, view)
-                  for view in state.blocks[inverse[new]])
-            for new in range(n))
-        apps = tuple(state.apps[inverse[new]] for new in range(n))
-        channels = tuple(
-            tuple(
-                tuple(self._remap_message(mapping, msg)
-                      for msg in state.channels[inverse[i]][inverse[j]])
-                for j in range(n))
-            for i in range(n))
-        return GlobalState(blocks=blocks, apps=apps, channels=channels,
-                           faults=state.faults)
-
-    def orbit_fingerprint(self, state: GlobalState, fp: int) -> int:
-        """The orbit key: min fingerprint over considered permutations."""
-        if not self.perms:
-            return fp
-        best = fp
-        for mapping in self.perms:
-            candidate = fingerprint(self.permute(state, mapping))
-            if candidate < best:
-                best = candidate
-        return best
 
 
 def _edge_digest(src_fp: int, dst_fp: int, label: str) -> int:

@@ -23,7 +23,7 @@ from repro.runtime.context import Message
 from repro.runtime.exec import HandlerInterpreter
 from repro.runtime.protocol import CompiledProtocol
 from repro.verify.events import EventGenerator, StacheEvents
-from repro.verify.fingerprint import fingerprint
+from repro.verify.fingerprint import canonical_fingerprint_fn, fingerprint
 from repro.verify.invariants import Invariant, standard_invariants
 from repro.verify.model import (
     ActionContext,
@@ -113,6 +113,29 @@ class FingerprintCollisionError(TraceReplayError):
     pointers fails replay validation.  The exploration's state count may
     also be an undercount; rerun without fingerprinting (or with more
     fingerprint bits) to get an exact answer.
+    """
+
+
+class SymmetryError(RuntimeError):
+    """The protocol failed the symmetry-reduction certification.
+
+    Symmetry reduction is exact only when the transition relation
+    commutes with the node-permutation group: every orbit sibling of a
+    reachable state must reach the same successor orbits.  Murphi's
+    scalarset type discipline proves that statically; Teapot has no
+    such discipline, and builtins like ``PopSharer``/``NthSharer``
+    return ``min``/*n*-th of a sharer set -- a deterministic choice no
+    function can make permutation-equivariant (for the swap fixing a
+    two-element set, the image of the choice would have to be the
+    other element).  Usually the choice washes out (pop-all
+    invalidation loops reach the same state in any order), but a
+    protocol that acts on the *identity* of one popped sharer --
+    lcm_mcc's copy-forward delegation, say -- genuinely is not
+    node-symmetric, and quotienting it would silently skip reachable
+    orbits.  So the checker certifies the assumption on every state it
+    expands and raises this error the moment a state's permuted image
+    disagrees on successor orbits; ``api.check`` responds by rerunning
+    the model unreduced.
     """
 
 
@@ -246,6 +269,13 @@ class CheckResult:
     # When the run recorded an atlas: the StateAtlas artifact
     # (repro.verify.atlas), else None.
     atlas: Optional[object] = None
+    # Reduction telemetry.  canonical_states: with symmetry reduction
+    # on, the number of orbit representatives explored (equals
+    # states_explored -- the visited set *is* canonical); None when
+    # symmetry was off.  pruned_transitions: transitions the sleep-set
+    # POR skipped as commuting duplicates; 0 when POR was off.
+    canonical_states: Optional[int] = None
+    pruned_transitions: int = 0
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
@@ -256,9 +286,15 @@ class CheckResult:
         if self.fault_budget != (0, 0):
             faults = (f", faults=drop:{self.fault_budget[0]}"
                       f"+dup:{self.fault_budget[1]}")
+        reduction = ""
+        if self.canonical_states is not None:
+            reduction += f" canonical-states={self.canonical_states}"
+        if self.pruned_transitions:
+            reduction += f" pruned-transitions={self.pruned_transitions}"
         return (
             f"{self.protocol_name}: {status}  states={self.states_explored} "
-            f"transitions={self.transitions} depth={self.max_depth} "
+            f"transitions={self.transitions}{reduction} "
+            f"depth={self.max_depth} "
             f"time={self.elapsed_seconds:.2f}s "
             f"(nodes={self.n_nodes}, addrs={self.n_blocks}, "
             f"reorder={self.reorder_bound}{workers}{faults})"
@@ -344,6 +380,8 @@ class ModelChecker:
         profiler=None,
         atlas=None,
         engine: str = "fast",
+        symmetry: bool = False,
+        por: bool = False,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -387,6 +425,60 @@ class ModelChecker:
             raise ValueError(
                 "fingerprint_states and check_progress are mutually "
                 "exclusive: the liveness check records full states")
+        # Symmetry reduction: key the visited set by the minimum
+        # fingerprint over the home-fixing free-node permutation group
+        # (see repro.verify.fingerprint.SymmetryCanonicalizer), so one
+        # representative per orbit is explored.  Exploration itself
+        # stays concrete -- successors of the first-discovered
+        # representative -- so the parent-pointer chain is a real path
+        # from the initial state and every witness trace replays on an
+        # unreduced checker as-is (fresh_clone drops reduction flags).
+        self.symmetry = symmetry
+        if symmetry:
+            if check_progress:
+                raise ValueError(
+                    "symmetry reduction and the liveness check are "
+                    "mutually exclusive: starvation witnesses need the "
+                    "full (unquotiented) state graph")
+            base_fn = self.fingerprint_fn
+            if base_fn is fingerprint:
+                canonical = canonical_fingerprint_fn(
+                    protocol, n_nodes, n_blocks)
+                self._canon = canonical.canonicalizer
+            else:
+                # Compose with a caller-supplied base hash (tests):
+                # min of the base over the full permutation group.
+                canon = canonical_fingerprint_fn(
+                    protocol, n_nodes, n_blocks).canonicalizer
+                self._canon = canon
+
+                def canonical(state, _canon=canon, _base=base_fn):
+                    best = _base(state)
+                    for mapping in _canon.perms:
+                        candidate = _base(_canon.permute(state, mapping))
+                        if candidate < best:
+                            best = candidate
+                    return best
+            self.fingerprint_fn = canonical
+            # Canonical keys are ints in every serial mode; violations
+            # get the same replay validation fingerprint mode has.
+            self.fingerprint_states = True
+        else:
+            self._canon = None
+        # Partial-order reduction (sleep sets): prune transitions whose
+        # commuting reorderings are explored elsewhere.  Sleep sets
+        # preserve the reachable state *set* (only redundant edges are
+        # pruned), so verdicts, violation reachability, and deadlock
+        # detection are unchanged -- the gating differential suite pins
+        # this per protocol.  Serial-only: the parallel engine's
+        # per-wave dedupe discards the sleep bookkeeping re-arrivals
+        # need (see docs/VERIFICATION.md).
+        self.por = por
+        if por and check_progress:
+            raise ValueError(
+                "partial-order reduction and the liveness check are "
+                "mutually exclusive: pruned edges would be starvation "
+                "false-positives in the recorded graph")
         # Fault-bounded exploration: in addition to every delivery, the
         # checker may *drop* or *duplicate* any in-flight message, up to
         # the budget.  Accepts a FaultBudget or a (drops, dups) tuple;
@@ -838,6 +930,61 @@ class ModelChecker:
             return self._legacy_successors(state)
         return self._fast_successors(state)
 
+    def _certify_symmetry(self, state: GlobalState, succ_keys=None) -> None:
+        """Certify the node-symmetry assumption at one expanded state.
+
+        Quotienting by the permutation group is exact only if the
+        transition relation commutes with it; Teapot (unlike Murphi's
+        scalarsets) cannot prove that statically, so the checker proves
+        it dynamically: at every state it expands, the canonical
+        successor-fingerprint *multiset* of each orbit sibling
+        (``permute(state, m)`` for each group element) must equal the
+        representative's own.  By induction over the BFS -- combined
+        with group closure, which makes any state sharing the
+        representative's canonical key a sibling -- per-expansion
+        equality guarantees the quotiented run reaches every canonical
+        key the unreduced run would.  A mismatch raises
+        :class:`SymmetryError` (the protocol makes a node-identity-
+        dependent choice, e.g. acting on *which* sharer ``PopSharer``
+        popped); ``api.check`` reruns unreduced.
+
+        ``succ_keys``: the representative's successor fingerprints when
+        the caller already computed them (the main BFS loop); ``None``
+        recomputes them (the POR path).  A ``_LabelledViolation`` while
+        recomputing the representative's successors means the run is
+        about to FAIL concretely -- certification gaps only matter for
+        PASS verdicts, so return early.  A sibling raising when the
+        representative did not *is* a mismatch.
+        """
+        canon = self._canon
+        if canon is None or not canon.perms:
+            return
+        fp = self.fingerprint_fn
+        if succ_keys is None:
+            try:
+                succ_keys = [fp(successor)
+                             for _, successor in self._successors(state)]
+            except _LabelledViolation:
+                return
+        mine = sorted(succ_keys)
+        for mapping in canon.perms:
+            sibling = canon.permute(state, mapping)
+            try:
+                theirs = sorted(
+                    fp(successor)
+                    for _, successor in self._successors(sibling))
+            except _LabelledViolation:
+                theirs = None
+            if theirs != mine:
+                raise SymmetryError(
+                    "symmetry certification failed: state with canonical "
+                    f"fingerprint {fp(state)} and its orbit sibling under "
+                    f"node permutation {mapping} reach different successor "
+                    "orbits.  The protocol makes a node-asymmetric choice "
+                    "(e.g. PopSharer/NthSharer acting on the identity of "
+                    "one specific sharer), so symmetry reduction would "
+                    "silently skip reachable states")
+
     def _legacy_successors(self, state: GlobalState):
         """Yield (label, successor) pairs; CheckerViolation propagates."""
         # Application events (gated while the network or a deferred queue
@@ -918,6 +1065,8 @@ class ModelChecker:
 
     def run(self) -> CheckResult:
         """Breadth-first exploration from the initial state."""
+        if self.por:
+            return self._run_por()
         start_time = time.perf_counter()
         prof = self.profiler
         if prof is not None:
@@ -982,6 +1131,8 @@ class ModelChecker:
                 handler_fires=dict(self._handler_fires),
                 exhausted=not hit_limit,
                 fault_budget=self.fault_budget,
+                canonical_states=(len(visited) if self.symmetry
+                                  else None),
             )
             if prof is not None:
                 prof.sample(len(visited), len(frontier), max_depth,
@@ -1013,10 +1164,13 @@ class ModelChecker:
             return result(False, Violation(
                 "invariant", violation, ["<initial>"], initial))
 
+        certify = (self.symmetry and self._canon is not None
+                   and self._canon.perms)
         while frontier:
             state, key = frontier.popleft()
             found_successor = False
             out_degree = 0
+            sym_keys = [] if certify else None
             if atlas is not None:
                 atlas.expand(state, fp=key if fp is not None else None)
             try:
@@ -1039,6 +1193,8 @@ class ModelChecker:
                         succ_key = fp(successor)
                         prof.add_phase("fingerprint",
                                        time.perf_counter() - t0)
+                    if sym_keys is not None:
+                        sym_keys.append(succ_key)
                     if atlas is not None:
                         # Every generated successor is an edge, even when
                         # its target was already visited -- record before
@@ -1093,6 +1249,8 @@ class ModelChecker:
                 return result(False, Violation(
                     "error", labelled.message,
                     trace_to(key, labelled.label), state))
+            if sym_keys is not None:
+                self._certify_symmetry(state, sym_keys)
             if prof is not None:
                 prof.add_out_degree(out_degree)
             if not found_successor:
@@ -1107,6 +1265,353 @@ class ModelChecker:
             violation = self._check_progress(graph, parents)
             if violation is not None:
                 return result(False, violation)
+        return result(True, None)
+
+    # -- partial-order-reduced search (sleep sets) --------------------------
+    #
+    # Sleep sets (Godefroid) prune *edges*, never states: a transition
+    # is skipped at a state only when a commuting reordering of it is
+    # explored from a sibling or was already covered on the path that
+    # put it to sleep, so every reachable state -- and with it every
+    # invariant verdict, error rule, and deadlock -- is still reached.
+    # Two transitions here are treated as independent only when they
+    # act on different nodes (an application op by p, or a delivery
+    # *into* p, acts on p), neither is a fault transition, and the
+    # congestion gate stays open across the reordering: an application
+    # op is only enabled while no channel or deferred queue sits at the
+    # cap, so a sibling's successor must be congestion-free before an
+    # app op may commute past it.  Disjoint actors give disjoint
+    # footprints in this model: one action writes only its actor's
+    # views/app row and appends to its actor's outgoing channels, and
+    # append-at-tail commutes with consume-at-index on a shared channel
+    # (the reorder window only grows).  States reached while fault
+    # budget remains are expanded in full -- fault transitions touch
+    # arbitrary channels and share the global budget, so no commuting
+    # argument applies to them.
+    #
+    # BFS revisits need the classical re-arrival rule: reaching a
+    # visited state with a smaller sleep set re-opens the transitions
+    # the difference regained (they were never explored anywhere), so
+    # the stored representative is re-enqueued to expand exactly those.
+    # This is why the POR loop -- unlike the fingerprint-mode hot loop
+    # -- retains every visited state, and why it lives in its own
+    # method instead of perturbing run().
+
+    def _enabled_moves(self, state: GlobalState) -> list:
+        """Pre-execution enumeration of the non-fault transitions
+        enabled at ``state``: (label, actor, kind, payload) tuples, in
+        exactly the order the stock enumerators execute them.  Labels
+        are known before any handler runs, so a slept transition costs
+        nothing."""
+        moves = []
+        if self._congestion_count(state) == 0:
+            for node in range(self.n_nodes):
+                app = state.apps[node]
+                if app.blocked_on is not None:
+                    continue
+                for choice in self._choices(node, app.gen):
+                    moves.append((choice.label, node, "app", choice))
+        reorder = self.reorder_bound
+        for src in range(self.n_nodes):
+            row = state.channels[src]
+            for dst in range(self.n_nodes):
+                channel = row[dst]
+                limit = min(len(channel), reorder + 1)
+                for index in range(limit):
+                    label = self._delivery_label(
+                        channel[index], src, dst, index)
+                    moves.append((label, dst, "deliver",
+                                  (src, dst, index)))
+        return moves
+
+    def _execute_move(self, state: GlobalState, actor: int, kind: str,
+                      payload) -> GlobalState:
+        """Run one enumerated move through the configured engine."""
+        if kind == "app":
+            if self.engine == "legacy":
+                return self._legacy_apply_app_op(
+                    state, actor, payload.op, payload.new_gen)
+            return self._apply_app_op(state, actor, payload.op,
+                                      payload.new_gen)
+        src, dst, index = payload
+        if self.engine == "legacy":
+            return self._legacy_apply_delivery(state, src, dst, index)
+        return self._apply_delivery(state, src, dst, index)
+
+    def _run_por(self) -> CheckResult:
+        """Breadth-first exploration with sleep-set pruning."""
+        start_time = time.perf_counter()
+        prof = self.profiler
+        if prof is not None:
+            prof.begin()
+        self._progress_window = deque(maxlen=8)
+        self._invariant_evals = {}
+        self._handler_fires = {}
+        self._named_invariants = [
+            (self._invariant_name(invariant), invariant)
+            for invariant in self.invariants
+        ]
+        if self.engine == "fast":
+            self._inv_verdicts = self._invariant_verdicts.setdefault(
+                tuple(inv for _name, inv in self._named_invariants), {})
+        else:
+            self._inv_verdicts = None
+        initial = initial_global_state(
+            self.protocol, self.n_nodes, self.n_blocks, self.home_of,
+            self.events.initial, faults=self.fault_budget)
+
+        fp = self.fingerprint_fn if self.fingerprint_states else None
+        initial_key = fp(initial) if fp else initial
+        atlas = self.atlas
+        if atlas is not None:
+            atlas.bind(self.protocol, self.n_nodes, self.n_blocks)
+            atlas.visit(initial, 0,
+                        fp=initial_key if fp is not None else None)
+        visited = {initial_key}
+        parents: dict = {initial_key: (None, "<initial>")}
+        depth: dict = {initial_key: 0}
+        # Per-key sleep bookkeeping:
+        # [state, sleep, explored, expanded, slept_labels].
+        # ``state`` is the stored concrete representative (needed to
+        # re-expand on re-arrival), ``sleep`` a frozenset of
+        # (label, actor, kind) entries currently asleep there,
+        # ``explored`` the labels already executed from it, and
+        # ``slept_labels`` the labels currently counted as pruned there
+        # (so ``pruned_transitions`` nets out moves a later re-arrival
+        # woke up and executed, and re-expansion passes do not
+        # double-count).
+        meta: dict = {initial_key: [initial, frozenset(), set(), False,
+                                    set()]}
+        frontier: deque = deque([initial_key])
+        transitions = 0
+        pruned = 0
+        max_depth = 0
+        hit_limit = False
+
+        def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
+            if fp is not None and violation is not None:
+                self.verify_violation(violation)
+            if self.progress_stream is not None:
+                self._report_progress(len(visited), len(frontier),
+                                      max_depth, transitions, start_time,
+                                      final=True)
+            res = CheckResult(
+                protocol_name=self.protocol.name,
+                ok=ok,
+                states_explored=len(visited),
+                transitions=transitions,
+                max_depth=max_depth,
+                elapsed_seconds=time.perf_counter() - start_time,
+                violation=violation,
+                n_nodes=self.n_nodes,
+                n_blocks=self.n_blocks,
+                reorder_bound=self.reorder_bound,
+                hit_state_limit=hit_limit,
+                invariant_evals=dict(self._invariant_evals),
+                handler_fires=dict(self._handler_fires),
+                exhausted=not hit_limit,
+                fault_budget=self.fault_budget,
+                canonical_states=(len(visited) if self.symmetry
+                                  else None),
+                pruned_transitions=pruned,
+            )
+            if prof is not None:
+                prof.sample(len(visited), len(frontier), max_depth,
+                            transitions, pruned=pruned)
+                prof.set_visited(
+                    entries=len(visited),
+                    mode="fingerprint" if fp is not None else "state",
+                    container_bytes=(sys.getsizeof(visited)
+                                     + sys.getsizeof(parents)))
+                res.profile = prof.build(res)
+            if atlas is not None:
+                res.atlas = atlas.build(res)
+            return res
+
+        def trace_to(key, last_label: str) -> list[str]:
+            labels: list[str] = []
+            cursor = key
+            while cursor is not None:
+                parent, label = parents[cursor]
+                if parent is not None:
+                    labels.append(label)
+                cursor = parent
+            labels.reverse()
+            labels.append(last_label)
+            return labels
+
+        congestion = self._congestion_count
+
+        def child_sleep(actor_u: int, kind_u: str, successor,
+                        sleep, executed) -> frozenset:
+            """The sleep set ``successor`` inherits through move u:
+            still-independent inherited entries plus the earlier
+            siblings u commutes with."""
+            keep = []
+            for (t_label, t_actor, t_kind), t_succ in executed:
+                if t_actor == actor_u:
+                    continue
+                # t must stay enabled (same footprint) after u: an app
+                # op needs the congestion gate open at the successor.
+                if t_kind == "app" and congestion(successor) != 0:
+                    continue
+                # u must stay enabled after t: known only when t's own
+                # successor is on hand (siblings); inherited entries
+                # have none, so an app-op u drops them conservatively.
+                if kind_u == "app" and (t_succ is None
+                                        or congestion(t_succ) != 0):
+                    continue
+                keep.append((t_label, t_actor, t_kind))
+            return frozenset(keep)
+
+        violation = self._check_invariants(initial)
+        if violation is not None:
+            return result(False, Violation(
+                "invariant", violation, ["<initial>"], initial))
+
+        while frontier:
+            key = frontier.popleft()
+            entry = meta[key]
+            state, sleep, explored = entry[0], entry[1], entry[2]
+            slept_labels = entry[4]
+            entry[3] = True
+            if atlas is not None:
+                atlas.expand(state, fp=key if fp is not None else None)
+            # While fault budget remains the state also has drop/dup
+            # transitions; those commute with nothing, so such states
+            # are expanded unreduced (children start sleep-free).
+            prune_here = state.faults == (0, 0)
+            found_successor = False
+            out_degree = 0
+            # (entry, successor) for every move taken from this state,
+            # in order -- the sibling context child_sleep consults.
+            # Previously-explored labels (re-expansion) join with a
+            # None successor so ordering stays stable.
+            executed: list = []
+
+            def absorb(label: str, successor, child: frozenset):
+                """Shared per-successor bookkeeping; returns a
+                CheckResult to propagate, or None to continue."""
+                nonlocal max_depth, hit_limit
+                succ_key = fp(successor) if fp else successor
+                if atlas is not None:
+                    atlas.edge(label, successor,
+                               fp=succ_key if fp is not None else None)
+                if succ_key in visited:
+                    stored = meta[succ_key]
+                    if stored[0] == successor:
+                        merged = stored[1] & child
+                    else:
+                        # Symmetry merged a different concrete
+                        # representative into this key: the concrete
+                        # diamond argument does not transfer, so the
+                        # stored state falls back to full expansion.
+                        merged = frozenset()
+                    if merged != stored[1]:
+                        stored[1] = merged
+                        if stored[3]:
+                            # Re-arrival regained transitions that were
+                            # never explored anywhere: re-expand the
+                            # stored representative for exactly those.
+                            stored[3] = False
+                            frontier.append(succ_key)
+                    return None
+                if len(visited) >= self.max_states:
+                    hit_limit = True
+                    return result(True, None)
+                visited.add(succ_key)
+                if (self.progress_stream is not None
+                        and len(visited) % self.progress_every == 0):
+                    self._report_progress(len(visited), len(frontier),
+                                          max_depth, transitions,
+                                          start_time)
+                parents[succ_key] = (key, label)
+                depth[succ_key] = depth[key] + 1
+                meta[succ_key] = [successor, child, set(), False, set()]
+                if atlas is not None:
+                    atlas.visit(successor, depth[succ_key],
+                                fp=succ_key if fp is not None else None)
+                if prof is not None and (
+                        depth[succ_key] > max_depth
+                        or len(visited) % prof.sample_every == 0):
+                    prof.sample(len(visited), len(frontier),
+                                max(max_depth, depth[succ_key]),
+                                transitions, pruned=pruned)
+                max_depth = max(max_depth, depth[succ_key])
+                message = self._check_invariants(successor)
+                if message is not None:
+                    return result(False, Violation(
+                        "invariant", message,
+                        trace_to(key, label), successor))
+                frontier.append(succ_key)
+                return None
+
+            try:
+                if prune_here:
+                    for label, actor, kind, payload in \
+                            self._enabled_moves(state):
+                        found_successor = True
+                        if label in explored:
+                            # Executed on an earlier pass over this
+                            # state; keep its slot in the sibling order.
+                            executed.append(((label, actor, kind), None))
+                            continue
+                        if (label, actor, kind) in sleep:
+                            if label not in slept_labels:
+                                slept_labels.add(label)
+                                pruned += 1
+                                if prof is not None:
+                                    prof.add_pruned(1)
+                            continue
+                        try:
+                            successor = self._execute_move(
+                                state, actor, kind, payload)
+                        except CheckerViolation as violation:
+                            raise _LabelledViolation(label,
+                                                     violation.message)
+                        transitions += 1
+                        out_degree += 1
+                        explored.add(label)
+                        if label in slept_labels:
+                            # Woken by a re-arrival after being counted
+                            # as pruned on an earlier pass: net it out.
+                            slept_labels.discard(label)
+                            pruned -= 1
+                            if prof is not None:
+                                prof.add_pruned(-1)
+                        child = child_sleep(actor, kind, successor,
+                                            sleep, executed)
+                        executed.append(((label, actor, kind),
+                                         successor))
+                        res = absorb(label, successor, child)
+                        if res is not None:
+                            return res
+                else:
+                    for label, successor in self._successors(state):
+                        transitions += 1
+                        out_degree += 1
+                        found_successor = True
+                        res = absorb(label, successor, frozenset())
+                        if res is not None:
+                            return res
+            except _LabelledViolation as labelled:
+                return result(False, Violation(
+                    "error", labelled.message,
+                    trace_to(key, labelled.label), state))
+            if self.symmetry:
+                # Sleep sets prune some moves above, so the comparison
+                # recomputes the full successor set from scratch.
+                self._certify_symmetry(state)
+            if prof is not None:
+                prof.add_out_degree(out_degree)
+            if not found_successor:
+                _, last_label = parents[key]
+                return result(False, Violation(
+                    "deadlock",
+                    "no rule enabled: all nodes blocked and no messages "
+                    "in flight",
+                    trace_to(key, "<stuck>"), state))
+
         return result(True, None)
 
     # -- trace replay -------------------------------------------------------

@@ -24,13 +24,24 @@ checkpoint format, so checkpoints contain no pickles.
 
 from __future__ import annotations
 
+import itertools
 from hashlib import blake2b
+from typing import Optional
 
+from repro.lang.builtins import T_CONT, T_NODE, T_SHARERS
 from repro.runtime.context import Message
 from repro.runtime.continuation import ContinuationRecord
 from repro.verify.model import AppView, BlockView, GlobalState
 
 FINGERPRINT_BITS = 64
+
+# Free-node permutations considered per state by the *estimator* (the
+# atlas's orbit statistics); 6! = 720 keeps it exact through 6
+# permutable caching nodes.  The production canonicalizer the checker
+# uses passes ``perm_cap=None`` (the full group): a capped group is not
+# closed under composition, so capped canonicalization would not be
+# idempotent and two states in one orbit could map to different keys.
+DEFAULT_PERM_CAP = 720
 
 
 class StateCodecError(TypeError):
@@ -126,6 +137,262 @@ def expected_collisions(entries: int,
     full states that compaction exists to discard; the check-profile
     artifact reports this estimate instead."""
     return entries * (entries - 1) / 2 / 2 ** bits
+
+
+# -- symmetry canonicalization --------------------------------------------------
+#
+# Every registered protocol is symmetric in its caching nodes: renaming
+# the non-home ("free") nodes by any permutation maps reachable states
+# to reachable states, transitions to transitions, and invariant
+# verdicts to identical verdicts.  Canonicalizing each state under that
+# group before the visited-set lookup is Murphi's scalarset reduction:
+# the checker explores one representative per orbit.
+#
+# Soundness hinges on the remap being *complete*: ``permute`` must
+# produce exactly the renamed state, or two inequivalent states could
+# be merged.  Node ids are therefore rewritten everywhere the
+# protocol's own type declarations locate them -- Message.src/dst,
+# NODE/SharerList-typed info fields and message payload parameters,
+# NODE/SharerList-typed parameterized-state args
+# (CompiledStateInfo.params), and suspended-continuation frames (saved
+# variables typed via the handler's IR tables, recursing through
+# CONT-typed captures).  Application views are permuted as whole rows;
+# event-generator states are node-free by construction (choices are
+# generated per node).  The gating differential suite pins reduced and
+# unreduced verdicts identical across every registered protocol.
+
+def _node_kind(type_name: str) -> Optional[str]:
+    if type_name == T_NODE:
+        return "node"
+    if type_name == T_SHARERS:
+        return "sharers"
+    if type_name == T_CONT:
+        return "cont"
+    return None
+
+
+class SymmetryCanonicalizer:
+    """Canonicalize states under home-fixing caching-node permutation.
+
+    The canonical key of a state is the minimum fingerprint over the
+    considered permutations of the *free* (non-home) nodes; states in
+    one orbit share a key.  With fewer than two free nodes only the
+    identity remains and every orbit is a singleton (ratio 1.0) --
+    interesting ratios need a third node (see ``tools/state_atlas.py``).
+
+    ``perm_cap`` bounds the group for estimation use (the atlas);
+    ``perm_cap=None`` keeps the full group, which is what exploration
+    requires: only a full (closed) group makes canonicalization
+    idempotent and orbit-invariant.
+    """
+
+    def __init__(self, protocol, n_nodes: int, n_blocks: int,
+                 perm_cap: Optional[int] = DEFAULT_PERM_CAP):
+        self.n_nodes = n_nodes
+        homes = {block % n_nodes for block in range(n_blocks)}
+        self.free_nodes = [n for n in range(n_nodes) if n not in homes]
+        free = self.free_nodes
+        self.perms: list[tuple] = []
+        if len(free) < 2:
+            self.method = "identity"
+        else:
+            count = 1
+            for i in range(2, len(free) + 1):
+                count *= i
+            self.method = ("exact" if perm_cap is None or count <= perm_cap
+                           else "capped")
+            images = itertools.permutations(free)
+            if self.method == "capped":
+                images = itertools.islice(images, perm_cap)
+            for image in images:
+                if image == tuple(free):
+                    continue            # the identity is the state itself
+                mapping = list(range(n_nodes))
+                for old, new in zip(free, image):
+                    mapping[old] = new
+                self.perms.append(tuple(mapping))
+        # Where node ids live, per the protocol's own declarations.
+        self._protocol = protocol
+        self.info_kinds = {
+            name: kind for name, type_name in protocol.info_vars.items()
+            if (kind := _node_kind(type_name)) is not None}
+        self.payload_kinds = {
+            tag: tuple(_node_kind(type_name) for type_name in types)
+            for tag, types in protocol.messages.items()}
+        self.state_arg_kinds = {
+            name: tuple(_node_kind(type_name)
+                        for _pname, type_name in info.params)
+            for name, info in protocol.states.items()}
+        # handler qualname "State.Message" -> {var -> kind}; built
+        # lazily because most states carry no continuation records.
+        self._frame_kinds: dict = {}
+
+    # Back-compat: atlas code and tests historically used this name.
+    @property
+    def node_fields(self):
+        return {n for n, k in self.info_kinds.items() if k == "node"}
+
+    @property
+    def sharer_fields(self):
+        return {n for n, k in self.info_kinds.items() if k == "sharers"}
+
+    @property
+    def permutations(self) -> int:
+        """Permutations considered per state, identity included."""
+        return len(self.perms) + 1
+
+    def _map_node(self, mapping: tuple, value):
+        # Nobody (-1) and any non-node value pass through untouched.
+        if (isinstance(value, int) and not isinstance(value, bool)
+                and 0 <= value < self.n_nodes):
+            return mapping[value]
+        return value
+
+    def _frame_kinds_for(self, handler: str) -> dict:
+        kinds = self._frame_kinds.get(handler)
+        if kinds is None:
+            state_name, _, message_name = handler.partition(".")
+            ir = self._protocol.handlers.get((state_name, message_name))
+            kinds = {}
+            if ir is not None:
+                for table in (ir.state_params, ir.locals, ir.param_types):
+                    for name, type_name in table.items():
+                        kind = _node_kind(type_name)
+                        if kind is not None:
+                            kinds[name] = kind
+            self._frame_kinds[handler] = kinds
+        return kinds
+
+    def _remap_cont(self, mapping: tuple,
+                    record: ContinuationRecord) -> ContinuationRecord:
+        kinds = self._frame_kinds_for(record.handler)
+        saved = tuple(
+            (name, self._remap_typed(mapping, value, kinds.get(name)))
+            for name, value in record.saved)
+        if saved == record.saved:
+            return record
+        return ContinuationRecord(record.handler, record.site_id, saved,
+                                  record.is_static)
+
+    def _remap_typed(self, mapping: tuple, value, kind: Optional[str]):
+        if kind == "node":
+            return self._map_node(mapping, value)
+        if kind == "sharers" and isinstance(value, frozenset):
+            return frozenset(self._map_node(mapping, member)
+                             for member in value)
+        # CONT-typed captures, and continuation records reached through
+        # untyped positions, both recurse into their own frame tables.
+        if isinstance(value, ContinuationRecord):
+            return self._remap_cont(mapping, value)
+        return value
+
+    def _remap_message(self, mapping: tuple, msg: Message) -> Message:
+        payload = msg.payload
+        if payload:
+            kinds = self.payload_kinds.get(msg.tag)
+            payload = tuple(
+                self._remap_typed(
+                    mapping, item,
+                    kinds[i] if kinds and i < len(kinds) else None)
+                for i, item in enumerate(payload))
+        src = self._map_node(mapping, msg.src)
+        dst = self._map_node(mapping, msg.dst)
+        if payload == msg.payload and src == msg.src and dst == msg.dst:
+            return msg
+        return Message(msg.tag, msg.block, src=src, dst=dst,
+                       payload=payload, data=msg.data)
+
+    def _remap_view(self, mapping: tuple, view: BlockView) -> BlockView:
+        info_kinds = self.info_kinds
+        info = tuple(
+            (name, self._remap_typed(mapping, value,
+                                     info_kinds.get(name)))
+            for name, value in view.info)
+        state_args = view.state_args
+        if state_args:
+            kinds = self.state_arg_kinds.get(view.state_name) or ()
+            state_args = tuple(
+                self._remap_typed(mapping, value,
+                                  kinds[i] if i < len(kinds) else None)
+                for i, value in enumerate(state_args))
+        queue = tuple(self._remap_message(mapping, msg)
+                      for msg in view.queue)
+        return BlockView(view.state_name, state_args, info,
+                         view.access, queue)
+
+    def permute(self, state: GlobalState, mapping: tuple) -> GlobalState:
+        """The state with node ``old`` renamed to ``mapping[old]``."""
+        n = self.n_nodes
+        inverse = [0] * n
+        for old, new in enumerate(mapping):
+            inverse[new] = old
+        blocks = tuple(
+            tuple(self._remap_view(mapping, view)
+                  for view in state.blocks[inverse[new]])
+            for new in range(n))
+        apps = tuple(state.apps[inverse[new]] for new in range(n))
+        channels = tuple(
+            tuple(
+                tuple(self._remap_message(mapping, msg)
+                      for msg in state.channels[inverse[i]][inverse[j]])
+                for j in range(n))
+            for i in range(n))
+        return GlobalState(blocks=blocks, apps=apps, channels=channels,
+                           faults=state.faults)
+
+    def orbit_fingerprint(self, state: GlobalState, fp: int) -> int:
+        """The orbit key: min fingerprint over considered permutations.
+        ``fp`` is the state's own (identity) fingerprint, passed so a
+        caller that already computed it never pays it twice."""
+        if not self.perms:
+            return fp
+        best = fp
+        for mapping in self.perms:
+            candidate = fingerprint(self.permute(state, mapping))
+            if candidate < best:
+                best = candidate
+        return best
+
+    def canonical_fingerprint(self, state: GlobalState) -> int:
+        """The visited-set key symmetry reduction explores under."""
+        return self.orbit_fingerprint(state, fingerprint(state))
+
+    def canonical_state(self, state: GlobalState) -> GlobalState:
+        """The orbit representative (argmin-fingerprint image).  With
+        the full group this is idempotent: the representative's own
+        canonical state is itself."""
+        if not self.perms:
+            return state
+        best, best_fp = state, fingerprint(state)
+        for mapping in self.perms:
+            candidate = self.permute(state, mapping)
+            candidate_fp = fingerprint(candidate)
+            if candidate_fp < best_fp:
+                best, best_fp = candidate, candidate_fp
+        return best
+
+
+def canonical_fingerprint_fn(protocol, n_nodes: int, n_blocks: int):
+    """The symmetry-reduced fingerprint function exploration keys by.
+
+    Returns a ``state -> int`` callable computing the min fingerprint
+    over the full home-fixing free-node permutation group, caching the
+    result on the (frozen, interned) state object the same way the
+    checker caches congestion counts -- repeat lookups of one state are
+    an attribute read.
+    """
+    canon = SymmetryCanonicalizer(protocol, n_nodes, n_blocks,
+                                  perm_cap=None)
+
+    def canonical_fp(state: GlobalState, _canon=canon) -> int:
+        cached = state.__dict__.get("_canon_fp")
+        if cached is None:
+            cached = _canon.canonical_fingerprint(state)
+            object.__setattr__(state, "_canon_fp", cached)
+        return cached
+
+    canonical_fp.canonicalizer = canon
+    return canonical_fp
 
 
 # -- JSON codec (checkpoints) ---------------------------------------------------

@@ -80,6 +80,7 @@ from repro.runtime.protocol import CompiledProtocol
 from repro.verify.checker import (
     CheckResult,
     ModelChecker,
+    SymmetryError,
     Violation,
     _LabelledViolation,
     _eta_seconds,
@@ -307,9 +308,14 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             route: list = []              # fps in first-generation order
             outbox: dict = defaultdict(list)
             violations = []
+            certify = (checker.symmetry and checker._canon is not None
+                       and checker._canon.perms)
+            symmetry_error = None
             for sfp, state, depth in tasks:
                 found_successor = False
                 out_degree = 0
+                sym_fps = ([] if certify and symmetry_error is None
+                           else None)
                 if atlas is not None:
                     atlas.expand(state, fp=sfp)
                 try:
@@ -328,6 +334,8 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                             prof.add_phase("fingerprint",
                                            time.perf_counter() - t0)
                             t0 = time.perf_counter()
+                        if sym_fps is not None:
+                            sym_fps.append(fp)
                         if atlas is not None:
                             # An edge per generated successor, even when
                             # its target was already routed -- the send
@@ -337,9 +345,16 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                             # Rediscovered within this wave: keep the
                             # minimum edge so this sender's proposal is
                             # its minimum over all generating edges.
+                            # The stashed state moves with the edge --
+                            # under symmetry reduction two edges into
+                            # the same fingerprint can produce distinct
+                            # concrete orbit members, and the stored
+                            # state must be the winning edge's successor
+                            # or the replayed trace diverges.
                             proposal = proposals[fp]
                             if (sfp, label) < (proposal[0], proposal[1]):
                                 proposals[fp] = (sfp, label, depth + 1)
+                                stash[fp] = successor
                             if prof is not None:
                                 prof.add_phase(
                                     "visited", time.perf_counter() - t0)
@@ -360,6 +375,15 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                     violations.append(("error", labelled.message, depth,
                                        sfp, labelled.label))
                     continue
+                if sym_fps is not None:
+                    # Certify the symmetry assumption at this expanded
+                    # state (see ModelChecker._certify_symmetry).  The
+                    # wave finishes normally either way so accounting
+                    # stays consistent; the master raises on the reply.
+                    try:
+                        checker._certify_symmetry(state, sym_fps)
+                    except SymmetryError as error:
+                        symmetry_error = str(error)
                 if prof is not None:
                     prof.add_out_degree(out_degree)
                 if not found_successor:
@@ -375,6 +399,7 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 "max_depth": max_depth,
                 "outbox": dict(outbox),
                 "violations": violations,
+                "symmetry_error": symmetry_error,
                 "inv_evals": sum(checker._invariant_evals.values()),
                 "seconds": time.perf_counter() - started,
             }))
@@ -446,6 +471,7 @@ class ParallelChecker:
         profiler=None,
         atlas=None,
         engine: str = "fast",
+        symmetry: bool = False,
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
@@ -470,6 +496,10 @@ class ParallelChecker:
         # One fully configured serial checker serves as the template the
         # forked workers inherit, and as the replay engine for validating
         # reconstructed counterexamples.
+        # Symmetry canonicalization lives entirely in the template's
+        # fingerprint_fn: workers shard and dedupe by canonical
+        # fingerprint, so the orbit quotient falls out of the existing
+        # exchange protocol with no new message kinds.
         self._template = ModelChecker(
             protocol, n_nodes=n_nodes, n_blocks=n_blocks,
             reorder_bound=reorder_bound, events=events,
@@ -478,7 +508,8 @@ class ParallelChecker:
             interpreter_factory=interpreter_factory,
             fingerprint_states=True, fingerprint_fn=fingerprint_fn,
             fault_budget=fault_budget, profiler=profiler, atlas=atlas,
-            engine=engine)
+            engine=engine, symmetry=symmetry)
+        self.symmetry = symmetry
 
     # -- checkpoint plumbing ------------------------------------------------
 
@@ -497,6 +528,11 @@ class ParallelChecker:
         # configuration today.
         if t.fault_budget != (0, 0):
             echo["faults"] = list(t.fault_budget)
+        # Same back-compat shape: a symmetry-reduced run's visited set
+        # is keyed by canonical fingerprints, so its checkpoints must
+        # never resume an unreduced run (or vice versa).
+        if self.symmetry:
+            echo["symmetry"] = True
         return echo
 
     def _validate_resume(self, payload: dict) -> None:
@@ -822,6 +858,15 @@ class ParallelChecker:
                     violation_record = min(violations, key=_violation_rank)
                     record_partial_wave()
                     break
+                # A concrete violation outranks a certification failure
+                # (FAIL verdicts are sound regardless of symmetry); with
+                # none this wave, a failed certification aborts the run
+                # -- the enclosing ``finally`` tears the workers down.
+                symmetry_errors = [
+                    r["symmetry_error"] for r in expand_replies
+                    if r and r.get("symmetry_error")]
+                if symmetry_errors:
+                    raise SymmetryError(min(symmetry_errors))
                 if total_states >= template.max_states:
                     hit_limit = True
                     record_partial_wave()
@@ -944,6 +989,7 @@ class ParallelChecker:
                 exhausted=not hit_limit,
                 workers=n,
                 fault_budget=template.fault_budget,
+                canonical_states=(total_states if self.symmetry else None),
             )
             if prof is not None:
                 result.profile = prof.build(result)

@@ -5,8 +5,12 @@ import warnings
 import pytest
 
 from repro.api import (
+    ArtifactOptions,
     CheckOptions,
+    CheckpointOptions,
     CompileOptions,
+    ProgressOptions,
+    ReductionOptions,
     SimOptions,
     check,
     compile_protocol,
@@ -83,7 +87,8 @@ class TestCheck:
     def test_rejects_checkpoint_without_workers(self, tmp_path):
         with pytest.raises(ValueError):
             check("stache",
-                  CheckOptions(checkpoint_out=str(tmp_path / "c.json")))
+                  CheckOptions(checkpoint=CheckpointOptions(
+                      out=str(tmp_path / "c.json"))))
 
     def test_rejects_liveness_with_workers(self):
         with pytest.raises(ValueError):

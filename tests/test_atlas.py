@@ -20,7 +20,7 @@ import re
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import CheckOptions, check
+from repro.api import ArtifactOptions, CheckOptions, check
 from repro.cli import main
 from repro.obs.analyze import TraceError
 from repro.protocols import compile_named_protocol
@@ -166,7 +166,7 @@ class TestEngineInvariance:
         for workers in (0, 1, 2, 3):
             result = check(name, CheckOptions(
                 nodes=nodes, reorder=reorder, workers=workers,
-                atlas=True))
+                artifacts=ArtifactOptions(atlas=True)))
             assert result.ok
             assert not result.atlas.sampled
             keys[workers] = atlas_key(result.atlas)
@@ -178,8 +178,10 @@ class TestEngineInvariance:
         keys = {}
         for workers in (0, 2, 3):
             result = check("stache", CheckOptions(
-                nodes=3, reorder=0, workers=workers, atlas=True,
-                atlas_state_cap=100, atlas_edge_cap=300))
+                nodes=3, reorder=0, workers=workers,
+                artifacts=ArtifactOptions(atlas=True,
+                                          atlas_state_cap=100,
+                                          atlas_edge_cap=300)))
             atlas = result.atlas
             assert atlas.sampled
             assert atlas.truncation["states_kept"] == 100
@@ -191,9 +193,11 @@ class TestEngineInvariance:
 
     def test_full_artifact_identical_modulo_workers(self):
         serial = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas.to_json()
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas.to_json()
         parallel = check("stache", CheckOptions(
-            nodes=3, reorder=0, workers=2, atlas=True)).atlas.to_json()
+            nodes=3, reorder=0, workers=2,
+            artifacts=ArtifactOptions(atlas=True))).atlas.to_json()
         serial["workers"] = parallel["workers"]
         assert serial == parallel
 
@@ -201,7 +205,8 @@ class TestEngineInvariance:
 class TestArtifact:
     def build(self, tmp_path, **options):
         result = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True, **options))
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True), **options))
         path = tmp_path / "atlas.json"
         result.atlas.save(str(path))
         return result.atlas, path
@@ -237,7 +242,8 @@ class TestArtifact:
         from repro.faults import FaultBudget
 
         result = check("stache", CheckOptions(
-            reorder=0, atlas=True, faults=FaultBudget(drop=1)))
+            reorder=0, artifacts=ArtifactOptions(atlas=True),
+            faults=FaultBudget(drop=1)))
         assert not result.ok                      # drop=1 deadlocks stache
         atlas = result.atlas
         assert atlas is not None
@@ -333,7 +339,8 @@ class TestStructuralAnalysis:
 
     def test_passing_real_run_has_no_deadlocks(self):
         atlas = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         structure = analyze_structure(atlas)
         # A protocol that passes deadlock checking: every state has a
         # successor, and the whole space drains back to idle (one SCC).
@@ -345,7 +352,8 @@ class TestStructuralAnalysis:
 
     def test_residence_heatmap_transient_split(self):
         atlas = check("stache", CheckOptions(
-            nodes=2, reorder=1, atlas=True)).atlas
+            nodes=2, reorder=1,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         heat = residence_heatmap(atlas)
         assert heat["states"] == 47
         # Every kept state contributes one (node, state) observation
@@ -387,7 +395,8 @@ class TestStructuralAnalysis:
 
     def test_real_run_por_fraction_sane(self):
         atlas = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         estimate = por_estimate(atlas)
         assert estimate["checked_pairs"] > 100
         assert 0.0 < estimate["fraction"] < 1.0
@@ -396,7 +405,8 @@ class TestStructuralAnalysis:
 class TestOrbitEstimator:
     def test_two_nodes_identity(self):
         atlas = check("stache", CheckOptions(
-            nodes=2, reorder=1, atlas=True)).atlas
+            nodes=2, reorder=1,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         summary = orbit_summary(atlas)
         # With one home and one caching node there is nothing to
         # permute: every orbit is a singleton.
@@ -406,7 +416,8 @@ class TestOrbitEstimator:
 
     def test_three_nodes_collapse(self):
         atlas = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         summary = orbit_summary(atlas)
         assert summary["method"] == "exact"
         assert summary["free_nodes"] == [1, 2]
@@ -504,7 +515,8 @@ class TestLabelParsing:
 class TestExports:
     def build(self):
         return check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
 
     def test_dot_full(self):
         atlas = self.build()
@@ -561,9 +573,11 @@ class TestExports:
 class TestDiff:
     def test_diff_atlases(self):
         fifo = check("stache", CheckOptions(
-            nodes=2, reorder=0, atlas=True)).atlas
+            nodes=2, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         reordered = check("stache", CheckOptions(
-            nodes=2, reorder=1, atlas=True)).atlas
+            nodes=2, reorder=1,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         text = diff_atlases(fifo, reordered)
         assert "states: 33 -> 47" in text
         assert "appeared" in text and "vanished" in text
@@ -578,7 +592,8 @@ class TestDiff:
 class TestFormat:
     def test_report_sections(self):
         atlas = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         text = format_atlas(atlas)
         assert "state atlas: Stache" in text
         assert "verdict: PASS" in text
@@ -588,20 +603,22 @@ class TestFormat:
         assert "deadlock states (out-degree 0): none" in text
         assert "residence heatmap" in text
         assert "transient residence:" in text
-        assert "collapse ratio 1.51x" in text
+        assert "collapse ratio 1.97x" in text
         assert "POR headroom" in text
 
     def test_sampled_report_flags_truncation(self):
         atlas = check("stache", CheckOptions(
-            nodes=3, reorder=0, atlas=True, atlas_state_cap=50,
-            atlas_edge_cap=100)).atlas
+            nodes=3, reorder=0,
+            artifacts=ArtifactOptions(atlas=True, atlas_state_cap=50,
+                                      atlas_edge_cap=100))).atlas
         text = format_atlas(atlas)
         assert "coverage: SAMPLED" in text
         assert "kept 50/847 states" in text
 
     def test_identity_config_notes_missing_symmetry(self):
         atlas = check("stache", CheckOptions(
-            nodes=2, reorder=1, atlas=True)).atlas
+            nodes=2, reorder=1,
+            artifacts=ArtifactOptions(atlas=True))).atlas
         assert "fewer than two permutable" in format_atlas(atlas)
 
 

@@ -75,8 +75,10 @@ def test_violation_traces_agree(workers):
 
 @pytest.mark.parametrize("name", ["stache", "lcm_mcc"])
 def test_atlas_fingerprint_streams_agree(name):
-    legacy = check(name, "legacy", reorder=1, atlas=True)
-    fast = check(name, "fast", reorder=1, atlas=True)
+    legacy = check(name, "legacy", reorder=1,
+                   artifacts=api.ArtifactOptions(atlas=True))
+    fast = check(name, "fast", reorder=1,
+                 artifacts=api.ArtifactOptions(atlas=True))
     assert fast.atlas is not None and legacy.atlas is not None
     assert fast.atlas.states == legacy.atlas.states
     assert fast.atlas.edges == legacy.atlas.edges
@@ -92,7 +94,8 @@ def test_checkpoint_bytes_agree(tmp_path, engine_pair):
     for engine in engine_pair:
         path = tmp_path / f"{engine}.json"
         result = check("lcm_mcc", engine, reorder=1, workers=2,
-                       max_states=100, checkpoint_out=str(path))
+                       max_states=100,
+                       checkpoint=api.CheckpointOptions(out=str(path)))
         assert result.hit_state_limit
         with open(path) as handle:
             payload = json.load(handle)

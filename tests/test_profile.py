@@ -19,7 +19,7 @@ import re
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import CheckOptions, check
+from repro.api import ArtifactOptions, CheckOptions, check
 from repro.cli import main
 from repro.obs.analyze import TraceError
 from repro.obs.profile import (
@@ -188,7 +188,8 @@ class TestPhaseAccounting:
         profiles = {}
         for workers in (0, 1, 2, 3):
             result = check("lcm_mcc", CheckOptions(
-                reorder=1, workers=workers, profile=True))
+                reorder=1, workers=workers,
+                artifacts=ArtifactOptions(profile=True)))
             profile = result.profile
             assert profile.result["states"] == 789
             assert profile.result["transitions"] == 3172
@@ -209,7 +210,8 @@ class TestPhaseAccounting:
 
     def test_visited_collision_estimate(self):
         result = check("lcm_mcc", CheckOptions(
-            reorder=1, workers=2, profile=True))
+            reorder=1, workers=2,
+            artifacts=ArtifactOptions(profile=True)))
         visited = result.profile.visited
         assert visited["mode"] == "fingerprint"
         assert visited["entries"] == 789
@@ -221,7 +223,8 @@ class TestPhaseAccounting:
 class TestArtifact:
     def build(self, tmp_path, **options):
         result = check("lcm_mcc", CheckOptions(
-            reorder=1, profile=True, **options))
+            reorder=1, artifacts=ArtifactOptions(profile=True),
+            **options))
         path = tmp_path / "profile.json"
         result.profile.save(str(path))
         return result.profile, path

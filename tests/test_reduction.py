@@ -1,0 +1,495 @@
+"""Reduction differential harness: symmetry/POR never change a verdict.
+
+Symmetry reduction explores concrete states but dedupes on the minimum
+fingerprint over the home-fixing free-node permutation group; sleep-set
+partial-order reduction prunes commuting independent transitions.  Both
+are sound *reductions*, not approximations, so the contract this file
+pins is absolute: for every registered protocol, the reduced and
+unreduced checkers return the same verdict, and any reduced-run
+counterexample replays step-for-step on a fresh unreduced checker --
+serial and at workers 1-3, with and without fault budgets.
+
+The three protocols whose 3-node spaces run to 100k+ states
+(``lcm_sm``, ``stache_cas``, ``stache_cas_sm``) are swept at the
+2-node/reorder-1 configuration instead: the permutation group there is
+trivial, which still pins the reduced code path to byte-identical
+behaviour, while the ten 3-node rows exercise a real quotient.
+
+One registered protocol is genuinely *not* node-symmetric: lcm_mcc's
+GET_LCM_COPY_REQ handler delegates copy-serving to ``PopSharer``'s
+pick of one holder -- ``min(sharers)``, a choice no function can make
+permutation-equivariant.  The checker's per-state certification
+(``ModelChecker._certify_symmetry``) catches this and ``api.check``
+falls back to the exact unreduced exploration with a RuntimeWarning;
+this file pins both the fallback and that the other twelve protocols
+certify clean.
+"""
+
+import io
+import warnings
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.api import (
+    ArtifactOptions,
+    CheckOptions,
+    CheckpointOptions,
+    ProgressOptions,
+    ReductionOptions,
+)
+from repro.faults import FaultBudget
+from repro.protocols import PROTOCOLS
+from repro.verify.atlas import orbit_summary
+from repro.verify.checker import ModelChecker, replay_labels
+from repro.verify.events import events_for_protocol
+from repro.verify.fingerprint import SymmetryCanonicalizer, fingerprint
+from repro.verify.invariants import standard_invariants
+from repro.verify.model import initial_global_state
+
+ALL_NAMES = sorted(PROTOCOLS)
+
+# 3 nodes is the smallest configuration with interchangeable caching
+# nodes; the three protocols too large to exhaust there in test time
+# run at the default 2 nodes with reordering instead (trivial group).
+LARGE = {"lcm_sm", "stache_cas", "stache_cas_sm"}
+SWEEP = {name: (dict(reorder=1) if name in LARGE else dict(nodes=3))
+         for name in ALL_NAMES}
+
+# Protocols the symmetry certification rejects (node-asymmetric
+# choices); api.check warns and reruns these unreduced, so their
+# "reduced" outcome is the exact unreduced exploration.
+FALLBACK = {"lcm_mcc"}
+
+
+def check(name, *, reduction=None, **kwargs):
+    options = CheckOptions(
+        reduction=reduction or ReductionOptions(), **kwargs)
+    return api.check(name, options)
+
+
+_BASE = {}
+
+
+def base_outcome(name):
+    """The unreduced serial verdict at the sweep config, computed once.
+
+    The engine differential harness already pins parallel == serial for
+    the unreduced checker, so every reduced run -- serial or parallel --
+    is compared against this single oracle.
+    """
+    if name not in _BASE:
+        _BASE[name] = check(name, **SWEEP[name])
+    return _BASE[name]
+
+
+def replayer(name, *, nodes=2, addresses=1, reorder=0, faults=None):
+    """A fresh serial *unreduced* checker mirroring ``api.check``'s
+    configuration, for replaying reduced-run counterexamples."""
+    coherent = not name.lower().startswith("buffered")
+    return ModelChecker(
+        api.compile_protocol(name),
+        n_nodes=nodes, n_blocks=addresses, reorder_bound=reorder,
+        events=events_for_protocol(name),
+        invariants=standard_invariants(coherent=coherent),
+        fault_budget=faults)
+
+
+def assert_same_verdict(name, reduced, base, **replay_config):
+    assert reduced.ok == base.ok
+    if not base.ok:
+        assert reduced.violation is not None
+        assert reduced.violation.kind == base.violation.kind
+        # The reduced trace is a path of *concrete* states (symmetry
+        # dedupes on canonical fingerprints but stores and expands real
+        # orbit members), so it must replay on an unreduced checker.
+        replay_labels(replayer(name, **replay_config),
+                      reduced.violation.trace)
+
+
+# ---------------------------------------------------------------------------
+# Symmetry differential: all protocols, workers 0-3
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_symmetry_serial_verdicts_agree(name):
+    base = base_outcome(name)
+    if name in FALLBACK:
+        with pytest.warns(RuntimeWarning,
+                          match="symmetry certification failed"):
+            reduced = check(name, reduction=ReductionOptions(symmetry=True),
+                            **SWEEP[name])
+        # Certification caught the asymmetric choice; the rerun is the
+        # exact unreduced exploration, counters and all.
+        assert reduced.canonical_states is None
+        assert reduced.states_explored == base.states_explored
+        assert reduced.transitions == base.transitions
+        assert reduced.handler_fires == base.handler_fires
+        assert_same_verdict(name, reduced, base, **SWEEP[name])
+        return
+    reduced = check(name, reduction=ReductionOptions(symmetry=True),
+                    **SWEEP[name])
+    assert_same_verdict(name, reduced, base, **SWEEP[name])
+    assert reduced.canonical_states == reduced.states_explored
+    assert reduced.states_explored <= base.states_explored
+    # Quotient reachability preserves the transition *relation* on
+    # orbits: every unreduced edge maps to a canonical edge.
+    assert reduced.transitions <= base.transitions
+    assert reduced.handler_fires.keys() == base.handler_fires.keys()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_symmetry_parallel_verdicts_agree(name, workers):
+    base = base_outcome(name)
+    if name in FALLBACK:
+        # The worker-side certification reports through the expand
+        # reply; the master raises and api.check falls back to an
+        # unreduced *parallel* run, which the engine differential
+        # harness already pins equal to serial.
+        with pytest.warns(RuntimeWarning,
+                          match="symmetry certification failed"):
+            reduced = check(name, workers=workers,
+                            reduction=ReductionOptions(symmetry=True),
+                            **SWEEP[name])
+        assert reduced.canonical_states is None
+        assert reduced.states_explored == base.states_explored
+        assert_same_verdict(name, reduced, base, **SWEEP[name])
+        return
+    reduced = check(name, workers=workers,
+                    reduction=ReductionOptions(symmetry=True),
+                    **SWEEP[name])
+    assert_same_verdict(name, reduced, base, **SWEEP[name])
+    # Canonical fingerprints shard deterministically, so the reduced
+    # state count is worker-count independent.
+    serial = check(name, reduction=ReductionOptions(symmetry=True),
+                   **SWEEP[name])
+    assert reduced.states_explored == serial.states_explored
+    assert reduced.transitions == serial.transitions
+    assert reduced.handler_fires == serial.handler_fires
+
+
+# ---------------------------------------------------------------------------
+# POR differential: serial, all protocols
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_por_serial_agrees_and_preserves_states(name):
+    base = base_outcome(name)
+    por = check(name, reduction=ReductionOptions(por=True),
+                **SWEEP[name])
+    assert_same_verdict(name, por, base, **SWEEP[name])
+    if base.ok:
+        # Sleep sets prune *edges*, never states: on an exhaustive run
+        # the reachable set is preserved exactly, and every skipped
+        # edge is accounted for in pruned_transitions.
+        assert por.states_explored == base.states_explored
+        assert por.transitions + por.pruned_transitions == base.transitions
+
+
+def test_por_prunes_on_most_protocols():
+    pruning = [name for name in ALL_NAMES
+               if check(name, reorder=1,
+                        reduction=ReductionOptions(por=True)
+                        ).pruned_transitions > 0]
+    assert len(pruning) >= len(ALL_NAMES) // 2 + 1, pruning
+
+
+@pytest.mark.parametrize("name", ["stache", "lcm", "stache_sm"])
+def test_symmetry_plus_por_agree(name):
+    base = base_outcome(name)
+    both = check(
+        name, reduction=ReductionOptions(symmetry=True, por=True),
+        **SWEEP[name])
+    assert_same_verdict(name, both, base, **SWEEP[name])
+    sym = check(name, reduction=ReductionOptions(symmetry=True),
+                **SWEEP[name])
+    assert both.states_explored == sym.states_explored
+    assert (both.transitions + both.pruned_transitions
+            == sym.transitions)
+
+
+def test_symmetry_fallback_keeps_por():
+    """When certification rejects the quotient, only symmetry is
+    dropped: the rerun still prunes with sleep sets."""
+    base = base_outcome("lcm_mcc")
+    with pytest.warns(RuntimeWarning,
+                      match="symmetry certification failed"):
+        both = check("lcm_mcc",
+                     reduction=ReductionOptions(symmetry=True, por=True),
+                     **SWEEP["lcm_mcc"])
+    assert both.canonical_states is None
+    assert both.states_explored == base.states_explored
+    assert both.pruned_transitions > 0
+    assert (both.transitions + both.pruned_transitions
+            == base.transitions)
+
+
+# ---------------------------------------------------------------------------
+# Fault budgets: violations stay reachable under reduction
+# ---------------------------------------------------------------------------
+
+
+FAULT_CASES = [("stache", FaultBudget(drop=1)),
+               ("stache", FaultBudget(dup=1)),
+               ("lcm_mcc", FaultBudget(drop=1))]
+
+
+@pytest.mark.parametrize("name,budget", FAULT_CASES,
+                         ids=[f"{n}-{b.drop}d{b.dup}u"
+                              for n, b in FAULT_CASES])
+@pytest.mark.parametrize("reduction", [
+    ReductionOptions(symmetry=True),
+    ReductionOptions(por=True),
+    ReductionOptions(symmetry=True, por=True),
+], ids=["sym", "por", "both"])
+def test_fault_budget_violations_survive_reduction(name, budget, reduction):
+    base = check(name, nodes=3, faults=budget)
+    reduced = check(name, nodes=3, faults=budget, reduction=reduction)
+    assert_same_verdict(name, reduced, base, nodes=3, faults=budget)
+    assert reduced.fault_budget == base.fault_budget
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_fault_budget_symmetry_parallel(workers):
+    base = check("stache", nodes=3, faults=FaultBudget(drop=1))
+    reduced = check("stache", nodes=3, faults=FaultBudget(drop=1),
+                    workers=workers,
+                    reduction=ReductionOptions(symmetry=True))
+    assert_same_verdict("stache", reduced, base, nodes=3,
+                        faults=FaultBudget(drop=1))
+
+
+# ---------------------------------------------------------------------------
+# Pinned collapse: the quotient is deterministic, so exact counts hold
+# ---------------------------------------------------------------------------
+
+
+# (full states, canonical states) at 3 nodes / 1 address / FIFO -- the
+# same rows STATE_ATLAS.json records.  A shift here means either the
+# successor relation changed (full count) or the canonicalizer's orbit
+# partition changed (canonical count).
+PINNED = {
+    "stache": (847, 430),
+    "stache_sm": (2085, 1049),
+    "lcm": (7658, 3882),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_pinned_collapse_counts(name):
+    full_expected, reduced_expected = PINNED[name]
+    full = check(name, nodes=3)
+    reduced = check(name, nodes=3,
+                    reduction=ReductionOptions(symmetry=True))
+    assert full.states_explored == full_expected
+    assert reduced.states_explored == reduced_expected
+    ratio = full.states_explored / reduced.states_explored
+    floor = 1.9 if name.endswith("_sm") else 1.4
+    assert ratio >= floor
+
+
+# ---------------------------------------------------------------------------
+# Symmetry certification: the non-symmetric protocol is caught, not
+# silently mis-quotiented
+# ---------------------------------------------------------------------------
+
+
+def test_certification_raises_on_asymmetric_protocol():
+    """lcm_mcc's PopSharer delegation picks ``min(sharers)`` -- a
+    node-identity-dependent choice.  Quotienting it would silently skip
+    reachable orbits (the asymmetric pick means some orbit members'
+    successors land in orbits the representative's never reach), so the
+    raw checker must refuse rather than return an undercount."""
+    from repro.verify.checker import SymmetryError
+
+    checker = replayer("lcm_mcc", nodes=3)
+    checker_sym = ModelChecker(
+        checker.protocol, n_nodes=3, n_blocks=1,
+        events=events_for_protocol("lcm_mcc"),
+        invariants=standard_invariants(),
+        symmetry=True)
+    with pytest.raises(SymmetryError, match="PopSharer"):
+        checker_sym.run()
+
+
+def test_certification_fallback_is_exact():
+    """The api-level fallback for lcm_mcc reproduces the unreduced
+    exploration bit-for-bit (pinned at the STATE_ATLAS row)."""
+    with pytest.warns(RuntimeWarning, match="re-running without"):
+        reduced = check("lcm_mcc", nodes=3,
+                        reduction=ReductionOptions(symmetry=True))
+    assert reduced.states_explored == 23911
+    assert reduced.canonical_states is None
+    assert reduced.ok
+
+
+@pytest.mark.parametrize("name", ["stache", "stache_sm"])
+def test_achieved_collapse_matches_atlas_estimate(name):
+    """The atlas orbit estimator and the production canonicalizer are
+    the same code; on an exhausted run the checker visits exactly one
+    representative per estimated orbit."""
+    full = check(name, nodes=3, artifacts=ArtifactOptions(atlas=True))
+    reduced = check(name, nodes=3,
+                    reduction=ReductionOptions(symmetry=True))
+    estimate = orbit_summary(full.atlas)
+    assert estimate["orbits"] == reduced.states_explored
+    achieved = full.states_explored / reduced.states_explored
+    assert abs(achieved - estimate["ratio"]) <= 0.05 * estimate["ratio"]
+
+
+# ---------------------------------------------------------------------------
+# Canonicalizer properties (hypothesis over reachable states)
+# ---------------------------------------------------------------------------
+
+
+def _reachable_states(name, cap=200):
+    checker = replayer(name, nodes=3)
+    initial = initial_global_state(
+        checker.protocol, checker.n_nodes, checker.n_blocks,
+        checker.home_of, checker.events.initial)
+    seen, frontier, order = {initial}, [initial], [initial]
+    while frontier and len(order) < cap:
+        state = frontier.pop(0)
+        for _, successor in checker._successors(state):
+            if successor not in seen:
+                seen.add(successor)
+                order.append(successor)
+                frontier.append(successor)
+    return checker, order[:cap]
+
+
+_CHECKER, _STATES = _reachable_states("stache")
+_CANON = SymmetryCanonicalizer(_CHECKER.protocol, 3, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=len(_STATES) - 1))
+def test_canonical_state_is_idempotent(index):
+    state = _STATES[index]
+    canonical = _CANON.canonical_state(state)
+    assert _CANON.canonical_state(canonical) == canonical
+    assert (_CANON.canonical_fingerprint(canonical)
+            == _CANON.canonical_fingerprint(state))
+    assert fingerprint(canonical) == _CANON.canonical_fingerprint(state)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=len(_STATES) - 1),
+       st.integers(min_value=0))
+def test_canonical_fingerprint_is_permutation_invariant(index, which):
+    state = _STATES[index]
+    mapping = _CANON.perms[which % len(_CANON.perms)]
+    permuted = _CANON.permute(state, mapping)
+    assert (_CANON.canonical_fingerprint(permuted)
+            == _CANON.canonical_fingerprint(state))
+    assert (_CANON.canonical_state(permuted)
+            == _CANON.canonical_state(state))
+
+
+# ---------------------------------------------------------------------------
+# Mode errors and result surfacing
+# ---------------------------------------------------------------------------
+
+
+def test_symmetry_excludes_liveness():
+    with pytest.raises(ValueError, match="symmetry"):
+        check("stache", liveness=True,
+              reduction=ReductionOptions(symmetry=True))
+
+
+def test_por_excludes_liveness():
+    with pytest.raises(ValueError, match="liveness"):
+        check("stache", liveness=True,
+              reduction=ReductionOptions(por=True))
+
+
+def test_por_is_serial_only():
+    with pytest.raises(ValueError, match="serial-only"):
+        check("stache", workers=2,
+              reduction=ReductionOptions(por=True))
+
+
+def test_summary_reports_reduction_counters():
+    reduced = check("stache", nodes=3,
+                    reduction=ReductionOptions(symmetry=True))
+    assert "canonical-states=430" in reduced.summary()
+    por = check("stache", reorder=1,
+                reduction=ReductionOptions(por=True))
+    assert f"pruned-transitions={por.pruned_transitions}" in por.summary()
+    plain = check("stache")
+    assert "canonical-states" not in plain.summary()
+    assert "pruned-transitions" not in plain.summary()
+    assert plain.canonical_states is None
+    assert plain.pruned_transitions == 0
+
+
+# ---------------------------------------------------------------------------
+# Grouped options API: shims, warnings, replace()
+# ---------------------------------------------------------------------------
+
+
+def test_flat_kwargs_fold_with_deprecation_warning():
+    stream = io.StringIO()
+    with pytest.warns(DeprecationWarning) as caught:
+        options = CheckOptions(profile=True, atlas=True,
+                               progress_every=5, progress_stream=stream)
+    message = str(caught[0].message)
+    for name in ("profile", "atlas", "progress_every", "progress_stream"):
+        assert name in message
+    assert "DESIGN.md" in message
+    assert options.artifacts == ArtifactOptions(profile=True, atlas=True)
+    assert options.progress == ProgressOptions(every=5, stream=stream)
+    assert options.progress.effective_stream() is stream
+
+
+def test_bool_progress_folds_with_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="progress"):
+        options = CheckOptions(progress=True)
+    assert options.progress == ProgressOptions(enabled=True)
+
+
+def test_checkpoint_shims_fold():
+    with pytest.warns(DeprecationWarning):
+        options = CheckOptions(workers=2, checkpoint_out="a.json",
+                               resume="b.json")
+    assert options.checkpoint == CheckpointOptions(out="a.json",
+                                                   resume="b.json")
+
+
+def test_grouped_options_warn_nothing():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        options = CheckOptions(
+            reduction=ReductionOptions(symmetry=True),
+            progress=ProgressOptions(enabled=True, every=7),
+            checkpoint=CheckpointOptions(out="c.json"),
+            artifacts=ArtifactOptions(profile=True))
+    assert options.reduction.symmetry
+    assert options.progress.every == 7
+
+
+def test_replace_does_not_rewarn():
+    with pytest.warns(DeprecationWarning):
+        options = CheckOptions(profile=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        derived = replace(options, nodes=3)
+    assert derived.artifacts == ArtifactOptions(profile=True)
+    assert derived.nodes == 3
+
+
+def test_option_groups_are_frozen_values():
+    group = ReductionOptions(symmetry=True)
+    with pytest.raises(FrozenInstanceError):
+        group.symmetry = False
+    assert replace(group, por=True) == ReductionOptions(
+        symmetry=True, por=True)
+    assert not ProgressOptions()
+    assert ProgressOptions(enabled=True)
+    assert ProgressOptions(stream=io.StringIO())

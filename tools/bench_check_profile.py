@@ -32,13 +32,27 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
-from repro.api import CheckOptions, check  # noqa: E402
+from repro.api import (  # noqa: E402
+    ArtifactOptions,
+    CheckOptions,
+    ReductionOptions,
+    check,
+)
 
 PROTOCOL = "lcm_mcc"
 ROW = dict(nodes=2, addresses=1, reorder=1)
 
+# The reduction comparison runs at 3 nodes: with only 2 caching nodes
+# plus the fixed home there is no free permutation to quotient by, so
+# the Table 3 row itself cannot show a symmetry collapse.  It also runs
+# a different protocol: lcm_mcc is not node-symmetric (its PopSharer
+# copy-delegation fails the checker's certification and falls back to
+# an unreduced run), so the ratio is measured on plain LCM.
+REDUCTION_PROTOCOL = "lcm"
+REDUCTION_ROW = dict(nodes=3, addresses=1, reorder=0)
 
-def bench(options, repeats):
+
+def bench(options, repeats, protocol=PROTOCOL):
     """Wall-time samples across repeats; returns (result, samples).
 
     One untimed warmup call precedes the timed repeats: the fast
@@ -48,12 +62,12 @@ def bench(options, repeats):
     magnitude.  Steady-state throughput is what the regression gate
     tracks.
     """
-    check(PROTOCOL, options)
+    check(protocol, options)
     samples = []
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
-        result = check(PROTOCOL, options)
+        result = check(protocol, options)
         samples.append(time.perf_counter() - start)
     return result, samples
 
@@ -67,9 +81,12 @@ def main() -> int:
 
     configs = {
         "baseline": CheckOptions(**ROW),
-        "profiled": CheckOptions(**ROW, profile=True),
-        "profiled_workers_2": CheckOptions(**ROW, workers=2, profile=True),
-        "atlas_armed": CheckOptions(**ROW, atlas=True),
+        "profiled": CheckOptions(
+            **ROW, artifacts=ArtifactOptions(profile=True)),
+        "profiled_workers_2": CheckOptions(
+            **ROW, workers=2, artifacts=ArtifactOptions(profile=True)),
+        "atlas_armed": CheckOptions(
+            **ROW, artifacts=ArtifactOptions(atlas=True)),
     }
     rows = {}
     outcomes = set()
@@ -91,6 +108,39 @@ def main() -> int:
     if len(outcomes) != 1:
         raise SystemExit(f"configurations diverged: {sorted(outcomes)}")
 
+    # Symmetry-reduction comparison at 3 nodes.  Deliberately OUTSIDE
+    # the identical-outcomes assertion above: reduction changes the
+    # state count by design -- the invariant here is verdict identity
+    # and the collapse ratio, which bench_compare.py gates on.
+    full, full_samples = bench(CheckOptions(**REDUCTION_ROW),
+                               args.repeats, protocol=REDUCTION_PROTOCOL)
+    reduced, reduced_samples = bench(
+        CheckOptions(**REDUCTION_ROW,
+                     reduction=ReductionOptions(symmetry=True)),
+        args.repeats, protocol=REDUCTION_PROTOCOL)
+    if full.ok != reduced.ok:
+        raise SystemExit(
+            f"reduction changed the verdict: full ok={full.ok}, "
+            f"reduced ok={reduced.ok}")
+    if reduced.canonical_states is None:
+        raise SystemExit(
+            f"{REDUCTION_PROTOCOL} failed symmetry certification; the "
+            "reduction row must use a certifying protocol")
+    reduction = {
+        "protocol": REDUCTION_PROTOCOL,
+        "row": dict(REDUCTION_ROW),
+        "states_full": full.states_explored,
+        "states_reduced": reduced.states_explored,
+        "state_ratio": round(
+            full.states_explored / reduced.states_explored, 4),
+        "wall_seconds_full": timing_row(full_samples)["wall_seconds"],
+        "wall_seconds_reduced": timing_row(
+            reduced_samples)["wall_seconds"],
+    }
+    print(f"{'reduction':20s} {reduction['states_full']:>6d} -> "
+          f"{reduction['states_reduced']:>6d} states "
+          f"({reduction['state_ratio']:.2f}x)")
+
     base = rows["baseline"]["wall_seconds"]
     for row in rows.values():
         row["overhead_pct"] = round(
@@ -104,6 +154,9 @@ def main() -> int:
         "timer": "median-of-repeats wall time around api.check() after "
                  "one untimed warmup, min/max spread per row",
         "configs": rows,
+        # Symmetry collapse at 3 nodes; state_ratio is gated by
+        # bench_compare.py alongside baseline.states_per_second.
+        "reduction": reduction,
         # The armed serial run's phase split, so the committed artifact
         # doubles as a where-do-the-cycles-go snapshot for the ROADMAP
         # hot-loop work.

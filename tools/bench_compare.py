@@ -3,9 +3,10 @@
 Loads a baseline and a candidate bench artifact (any of the
 ``tools/bench_*.py`` outputs), flattens every numeric metric to a
 dotted path, and reports per-metric deltas.  Direction is inferred
-from the metric name: ``*per_second*`` and ``*speedup*`` are
-higher-is-better, ``*seconds*`` and ``*pct*`` are lower-is-better,
-anything else is informational only.
+from the metric name: ``*per_second*``, ``*speedup*``, and
+``*ratio*`` (reduction collapse) are higher-is-better,
+``*seconds*`` and ``*pct*`` are lower-is-better, anything else is
+informational only.
 
 Metrics matching a ``--gate`` glob (default ``*states_per_second*``)
 are *gated*: if any regresses by more than ``--threshold`` (default
@@ -45,7 +46,7 @@ from fnmatch import fnmatch
 
 from bench_common import META_KEYS
 
-HIGHER_BETTER = ("per_second", "speedup")
+HIGHER_BETTER = ("per_second", "speedup", "ratio")
 LOWER_BETTER = ("seconds", "pct")
 
 

@@ -29,10 +29,16 @@ import json
 import os
 import sys
 import time
+import warnings
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.api import CheckOptions, check  # noqa: E402
+from repro.api import (  # noqa: E402
+    ArtifactOptions,
+    CheckOptions,
+    ReductionOptions,
+    check,
+)
 from repro.protocols import PROTOCOLS  # noqa: E402
 from repro.verify.atlas import (  # noqa: E402
     analyze_structure,
@@ -52,7 +58,7 @@ def atlas_row(name: str, max_states: int, atlas_dir: str | None) -> dict:
     start = time.perf_counter()
     result = check(name, CheckOptions(
         nodes=NODES, addresses=ADDRESSES, reorder=REORDER,
-        max_states=max_states, atlas=True))
+        max_states=max_states, artifacts=ArtifactOptions(atlas=True)))
     elapsed = time.perf_counter() - start
     atlas = result.atlas
     if atlas_dir:
@@ -79,9 +85,42 @@ def atlas_row(name: str, max_states: int, atlas_dir: str | None) -> dict:
     if atlas.sampled:
         row["atlas_sampled"] = True
         row["atlas_truncation"] = dict(atlas.truncation)
+
+    # Re-run under the production symmetry canonicalizer and cross-check
+    # the estimator: on an exhausted run the reduced checker visits
+    # exactly one representative per orbit, so the achieved state count
+    # must equal the estimated orbit count -- a divergence means the
+    # atlas remap and the checker canonicalizer disagree.  A protocol
+    # that fails the checker's symmetry *certification* (a node-
+    # asymmetric choice like lcm_mcc's PopSharer copy-delegation) falls
+    # back to an unreduced run inside api.check; the row records that
+    # instead of a bogus 1.00x "collapse".
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reduced = check(name, CheckOptions(
+            nodes=NODES, addresses=ADDRESSES, reorder=REORDER,
+            max_states=max_states,
+            reduction=ReductionOptions(symmetry=True)))
+    row["reduced_states"] = reduced.states_explored
+    row["achieved_ratio"] = round(
+        row["states"] / reduced.states_explored, 4)
+    if reduced.canonical_states is None:
+        row["orbit_cross_check"] = (
+            "not node-symmetric: certification failed, unreduced "
+            "fallback (asymmetric choice, e.g. PopSharer); the orbit "
+            "estimate is an upper bound no sound quotient can achieve")
+    elif row["exhausted"] and reduced.exhausted:
+        row["orbit_cross_check"] = (
+            "exact" if reduced.states_explored == orbit["orbits"]
+            else f"MISMATCH: estimated {orbit['orbits']} orbits, "
+                 f"checker visited {reduced.states_explored}")
+    else:
+        row["orbit_cross_check"] = "skipped (bounded run)"
+
     bounded = "" if row["exhausted"] else " bounded"
     print(f"{name:16s} states={row['states']:>7d} "
           f"orbit_ratio={row['orbit_ratio']:.2f}x "
+          f"achieved={row['achieved_ratio']:.2f}x "
           f"terminal_sccs={row['terminal_sccs']} "
           f"por={row['por_commuting_fraction']:.2f} "
           f"({elapsed:.1f}s{bounded})")
@@ -120,7 +159,12 @@ def main() -> int:
                    "reorder": REORDER, "max_states": args.max_states},
         "note": "one row per registered protocol at the smallest "
                 "config with interchangeable caching nodes; "
-                "orbit_ratio bounds symmetry reduction, "
+                "orbit_ratio bounds symmetry reduction and "
+                "achieved_ratio is what the production canonicalizer "
+                "(ReductionOptions(symmetry=True)) actually collapses "
+                "-- orbit_cross_check pins the two equal on exhausted "
+                "runs, or records the certification fallback for "
+                "protocols that are not node-symmetric; "
                 "por_commuting_fraction bounds partial-order "
                 "reduction (see docs/OBSERVABILITY.md).  Rows with "
                 "exhausted: false describe a bounded prefix -- their "
