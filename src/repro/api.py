@@ -155,11 +155,43 @@ class ProgressOptions:
 
 @dataclass(frozen=True)
 class CheckpointOptions:
-    """Parallel only: dump a resumable JSON checkpoint on truncation or
-    interrupt (``out``) / continue from one (``resume``)."""
+    """Resumable JSON checkpoints, on either engine (docs/ROBUSTNESS.md,
+    "Resilient checking").
+
+    ``out`` names where to dump a sealed checkpoint whenever the run
+    stops early -- ``max_states`` truncation, a resource budget, or an
+    interrupt -- and ``resume`` continues from one (written at any
+    worker count, serial included; the formats are identical).
+    ``interval_waves`` / ``interval_seconds`` additionally write
+    periodic checkpoints at wave boundaries while the run is healthy,
+    and ``keep_last`` rotates that many most-recent files
+    (``out``, ``out.1``, ...)."""
 
     out: Optional[str] = None
     resume: Optional[str] = None
+    interval_waves: Optional[int] = None
+    interval_seconds: Optional[float] = None
+    keep_last: int = 1
+
+
+@dataclass(frozen=True)
+class BudgetOptions:
+    """Resource budgets for a check (docs/ROBUSTNESS.md).
+
+    When a budget trips, the run finishes the current wave (a clean,
+    resumable cut), writes a checkpoint if ``CheckpointOptions.out`` is
+    set, and returns with ``CheckResult.stop_reason`` of ``"deadline"``
+    or ``"memory"`` and ``exhausted=False`` -- never a wrong verdict.
+    ``deadline_seconds`` bounds this process's wall-clock time;
+    ``max_visited_bytes`` caps the visited-set container bytes (the
+    profiler's byte accounting; summed across shards when parallel)."""
+
+    deadline_seconds: Optional[float] = None
+    max_visited_bytes: Optional[int] = None
+
+    def __bool__(self) -> bool:
+        return (self.deadline_seconds is not None
+                or self.max_visited_bytes is not None)
 
 
 @dataclass(frozen=True)
@@ -225,7 +257,16 @@ class CheckOptions:
     reduction: ReductionOptions = ReductionOptions()
     progress: Union[ProgressOptions, bool] = ProgressOptions()
     checkpoint: CheckpointOptions = CheckpointOptions()
+    budget: BudgetOptions = BudgetOptions()
     artifacts: ArtifactOptions = ArtifactOptions()
+    # Worker-loss policy for parallel runs: "fail" raises
+    # WorkerLostError on the first dead worker; "degrade" re-shards the
+    # last completed wave onto the survivors and continues,
+    # verdict-identical (docs/ROBUSTNESS.md).
+    on_worker_loss: str = "fail"
+    # With a timeout, a worker silent for that many seconds during a
+    # barrier is treated as lost (killed first); None = wait forever.
+    worker_stall_timeout: Optional[float] = None
     events: Optional[EventGenerator] = None
     # Fault-bounded exploration: in every state the checker may also
     # drop or duplicate any in-flight message, up to this per-path
@@ -417,13 +458,24 @@ def check(target: Target,
     progress_stream = progress.effective_stream()
 
     reduction = options.reduction
+    checkpointing = bool(options.checkpoint.out
+                         or options.checkpoint.resume)
     if options.workers < 0:
         raise ValueError("CheckOptions.workers must be >= 0")
+    if options.on_worker_loss not in ("fail", "degrade"):
+        raise ValueError(
+            f"CheckOptions.on_worker_loss must be 'fail' or 'degrade', "
+            f"got {options.on_worker_loss!r}")
     if options.workers == 0:
-        if options.checkpoint.out or options.checkpoint.resume:
+        if checkpointing and options.liveness:
             raise ValueError(
-                "checkpoint/resume requires the parallel checker "
-                "(CheckOptions.workers >= 1)")
+                "checkpoint/resume and liveness checking are mutually "
+                "exclusive: checkpoints key states by fingerprint, "
+                "liveness needs the concrete state graph")
+        if checkpointing and reduction.por:
+            raise ValueError(
+                "checkpoint/resume is incompatible with partial-order "
+                "reduction (sleep-set state is not serialized)")
     else:
         if options.liveness:
             raise ValueError(
@@ -465,13 +517,24 @@ def check(target: Target,
                 check_progress=options.liveness,
                 progress_stream=progress_stream,
                 progress_every=progress.every,
-                fingerprint_states=options.fingerprints,
+                # Serial checkpoints key the visited set by fingerprint,
+                # so checkpointing implies hash compaction.
+                fingerprint_states=(options.fingerprints
+                                    or checkpointing),
                 fault_budget=options.faults,
                 profiler=profiler,
                 atlas=atlas,
                 engine=options.engine,
                 symmetry=symmetry,
                 por=reduction.por,
+                checkpoint_out=options.checkpoint.out,
+                resume=options.checkpoint.resume,
+                checkpoint_interval_waves=options.checkpoint.interval_waves,
+                checkpoint_interval_seconds=(
+                    options.checkpoint.interval_seconds),
+                checkpoint_keep_last=options.checkpoint.keep_last,
+                deadline_seconds=options.budget.deadline_seconds,
+                max_visited_bytes=options.budget.max_visited_bytes,
             ).run()
         return ParallelChecker(
             protocol,
@@ -492,6 +555,14 @@ def check(target: Target,
             atlas=atlas,
             engine=options.engine,
             symmetry=symmetry,
+            on_worker_loss=options.on_worker_loss,
+            worker_stall_timeout=options.worker_stall_timeout,
+            checkpoint_interval_waves=options.checkpoint.interval_waves,
+            checkpoint_interval_seconds=(
+                options.checkpoint.interval_seconds),
+            checkpoint_keep_last=options.checkpoint.keep_last,
+            deadline_seconds=options.budget.deadline_seconds,
+            max_visited_bytes=options.budget.max_visited_bytes,
         ).run()
 
     if not reduction.symmetry:

@@ -41,7 +41,11 @@ from repro.lang.parser import parse_program
 from repro.lang.typecheck import check_program
 from repro.runtime.protocol import OptLevel
 from repro.protocols import PROTOCOLS
-from repro.verify import events_for_protocol
+from repro.verify import (
+    CheckpointError,
+    WorkerLostError,
+    events_for_protocol,
+)
 from repro.analysis import build_state_graph
 
 
@@ -159,8 +163,17 @@ def cmd_verify(args) -> int:
                                        por=args.por),
         progress=api.ProgressOptions(enabled=args.progress,
                                      every=args.progress_every),
-        checkpoint=api.CheckpointOptions(out=args.checkpoint_out,
-                                         resume=args.resume),
+        checkpoint=api.CheckpointOptions(
+            out=args.checkpoint_out,
+            resume=args.resume,
+            interval_waves=args.checkpoint_every_waves,
+            interval_seconds=args.checkpoint_every_seconds,
+            keep_last=args.checkpoint_keep),
+        budget=api.BudgetOptions(
+            deadline_seconds=args.deadline,
+            max_visited_bytes=args.max_visited_bytes),
+        on_worker_loss=args.on_worker_loss,
+        worker_stall_timeout=args.worker_stall_timeout,
         faults=_parse_fault_budget(args.faults),
         artifacts=api.ArtifactOptions(profile=bool(args.profile_out),
                                       atlas=bool(args.atlas_out)),
@@ -174,8 +187,36 @@ def cmd_verify(args) -> int:
                   file=sys.stderr)
             return 130
         raise
+    except (CheckpointError, WorkerLostError, ValueError) as error:
+        # Bad checkpoint files, dead workers under --on-worker-loss
+        # fail, and rejected option combinations are outcomes, not
+        # crashes: one readable line, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(result.summary())
-    if not result.exhausted:
+    stop = result.stop_reason
+    if stop is not None:
+        reason = {
+            "interrupted": "interrupted (SIGINT); the completed wave "
+                           "was drained first",
+            "deadline": f"wall-clock budget reached "
+                        f"(--deadline {args.deadline})",
+            "memory": "visited-set byte budget reached "
+                      f"(--max-visited-bytes {args.max_visited_bytes})",
+            "worker_lost": f"gave up re-sharding after "
+                           f"{result.worker_losses} worker "
+                           "losses; result covers the last "
+                           "consistent cut",
+        }.get(stop, stop)
+        note = f"note: stopped early: {reason}"
+        if args.checkpoint_out:
+            note += (f"; a resumable checkpoint is at "
+                     f"{args.checkpoint_out} (continue with --resume "
+                     f"{args.checkpoint_out})")
+        print(note, file=sys.stderr)
+        if stop == "interrupted":
+            return 130
+    elif not result.exhausted:
         note = (f"note: exploration truncated at "
                 f"{result.states_explored} states "
                 f"(--max-states {args.max_states}): PASS covers only "
@@ -592,12 +633,52 @@ def build_parser() -> argparse.ArgumentParser:
                         "verdict is unchanged); serial only, rejected "
                         "with --liveness")
     p.add_argument("--checkpoint-out", metavar="PATH",
-                   help="with --workers: write a resumable JSON "
-                        "checkpoint if the run truncates at --max-states "
-                        "or is interrupted")
+                   help="write a sealed, resumable JSON checkpoint if "
+                        "the run truncates at --max-states, hits a "
+                        "--deadline/--max-visited-bytes budget, or is "
+                        "interrupted (serial or --workers; writes are "
+                        "atomic and BLAKE2b-sealed)")
     p.add_argument("--resume", metavar="PATH",
-                   help="with --workers: continue from a checkpoint "
-                        "(written at any worker count)")
+                   help="continue from a checkpoint (written serially "
+                        "or at any worker count; the final verdict and "
+                        "state count match an uninterrupted run)")
+    p.add_argument("--checkpoint-every-waves", type=int, default=None,
+                   metavar="N",
+                   help="with --checkpoint-out: also checkpoint every N "
+                        "completed BFS waves, not just at truncation")
+    p.add_argument("--checkpoint-every-seconds", type=float,
+                   default=None, metavar="S",
+                   help="with --checkpoint-out: also checkpoint when S "
+                        "seconds have passed since the last one "
+                        "(written at the next wave boundary)")
+    p.add_argument("--checkpoint-keep", type=int, default=1,
+                   metavar="N",
+                   help="keep the last N checkpoints, rotating older "
+                        "ones to PATH.1, PATH.2, ... (default 1)")
+    p.add_argument("--deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget: stop gracefully after this "
+                        "many seconds, finish the current wave, write "
+                        "any --checkpoint-out, and report "
+                        "stop_reason=deadline instead of dying mid-run")
+    p.add_argument("--max-visited-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="memory budget: stop gracefully once the "
+                        "visited-set containers exceed this many bytes "
+                        "(same graceful path as --deadline)")
+    p.add_argument("--on-worker-loss", choices=("fail", "degrade"),
+                   default="fail",
+                   help="with --workers: what to do when a worker "
+                        "process dies mid-run; 'fail' (default) raises "
+                        "a one-line error, 'degrade' re-shards the "
+                        "last completed wave onto the survivors and "
+                        "continues to the identical verdict")
+    p.add_argument("--worker-stall-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="with --workers: treat a worker that has not "
+                        "answered for this long as lost (killed and "
+                        "handled per --on-worker-loss); default: wait "
+                        "forever")
     p.add_argument("--faults", metavar="SPEC",
                    help="fault-bounded exploration: also drop/duplicate "
                         "in-flight messages, up to a per-path budget "

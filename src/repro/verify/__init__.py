@@ -37,8 +37,9 @@ from repro.verify.checker import (
     Violation,
     replay_labels,
 )
+from repro.verify.checkpoint import CheckpointError, load_checkpoint
 from repro.verify.fingerprint import encode_state, fingerprint
-from repro.verify.parallel import ParallelChecker
+from repro.verify.parallel import ParallelChecker, WorkerLostError
 from repro.verify.events import (
     CasEvents,
     EventGenerator,
@@ -58,6 +59,9 @@ __all__ = [
     "FingerprintCollisionError",
     "SymmetryError",
     "replay_labels",
+    "CheckpointError",
+    "WorkerLostError",
+    "load_checkpoint",
     "fingerprint",
     "encode_state",
     "AtlasRecorder",

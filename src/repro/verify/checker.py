@@ -10,7 +10,9 @@ failure.  Exploration is exhaustive up to ``max_states``.
 from __future__ import annotations
 
 import re
+import signal
 import sys
+import threading
 import time
 import weakref
 from collections import deque
@@ -19,11 +21,26 @@ from typing import IO, Optional
 
 from repro.faults import FaultBudget
 
+from repro.obs.profile import visited_container_bytes
 from repro.runtime.context import Message
 from repro.runtime.exec import HandlerInterpreter
 from repro.runtime.protocol import CompiledProtocol
+from repro.verify.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_VERSION,
+    PERIODIC_SPACING_RATIO,
+    CheckpointError,
+    config_echo,
+    load_checkpoint,
+    validate_resume,
+    write_checkpoint,
+)
 from repro.verify.events import EventGenerator, StacheEvents
-from repro.verify.fingerprint import canonical_fingerprint_fn, fingerprint
+from repro.verify.fingerprint import (
+    canonical_fingerprint_fn,
+    fingerprint,
+    state_from_jsonable,
+)
 from repro.verify.invariants import Invariant, standard_invariants
 from repro.verify.model import (
     ActionContext,
@@ -276,11 +293,23 @@ class CheckResult:
     # POR skipped as commuting duplicates; 0 when POR was off.
     canonical_states: Optional[int] = None
     pruned_transitions: int = 0
+    # Why the run stopped before exhausting the space: "deadline" /
+    # "memory" (BudgetOptions), "interrupted" (Ctrl-C drained at a
+    # clean cut), "worker_lost" (parallel degrade recovery gave up), or
+    # None for a normal completion / plain max_states truncation.  A
+    # set stop_reason implies exhausted=False and, when checkpointing
+    # was configured, a resumable checkpoint on disk.
+    stop_reason: Optional[str] = None
+    # Parallel only: workers that died and were recovered from under
+    # on_worker_loss="degrade" (0 for an undisturbed run).
+    worker_losses: int = 0
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
         if self.hit_state_limit:
             status += " (state limit reached)"
+        if self.stop_reason is not None:
+            status += f" (stopped: {self.stop_reason})"
         workers = f", workers={self.workers}" if self.workers > 1 else ""
         faults = ""
         if self.fault_budget != (0, 0):
@@ -382,6 +411,13 @@ class ModelChecker:
         engine: str = "fast",
         symmetry: bool = False,
         por: bool = False,
+        checkpoint_out: Optional[str] = None,
+        resume: Optional[str] = None,
+        checkpoint_interval_waves: Optional[int] = None,
+        checkpoint_interval_seconds: Optional[float] = None,
+        checkpoint_keep_last: int = 1,
+        deadline_seconds: Optional[float] = None,
+        max_visited_bytes: Optional[int] = None,
     ):
         self.protocol = protocol
         self.n_nodes = n_nodes
@@ -508,6 +544,33 @@ class ModelChecker:
         if engine not in ("fast", "legacy"):
             raise ValueError(f"unknown successor engine {engine!r}")
         self.engine = engine
+        # Checkpointing (serial): drain to a clean cut -- every state in
+        # the frontier accepted-but-unexpanded, everything else fully
+        # expanded -- and write the same v1 JSON format the parallel
+        # checker uses, so a serial checkpoint resumes at any worker
+        # count and vice versa.  Requires the fingerprint-keyed visited
+        # set (the on-disk format is fingerprint-keyed).
+        self.checkpoint_out = checkpoint_out
+        self.resume = resume
+        self.checkpoint_interval_waves = checkpoint_interval_waves
+        self.checkpoint_interval_seconds = checkpoint_interval_seconds
+        self.checkpoint_keep_last = checkpoint_keep_last
+        if (checkpoint_out or resume) and not self.fingerprint_states:
+            raise ValueError(
+                "serial checkpoint/resume requires fingerprint_states="
+                "True (the checkpoint format is fingerprint-keyed)")
+        if (checkpoint_out or resume) and por:
+            raise ValueError(
+                "checkpoint/resume and partial-order reduction are "
+                "mutually exclusive: sleep-set bookkeeping does not "
+                "survive the fingerprint-keyed checkpoint format")
+        # Resource budgets: a wall-clock deadline and a visited-set byte
+        # cap (the profiler's container accounting).  Exceeding either
+        # finishes the current state cleanly, writes a resumable
+        # checkpoint when one is configured, and returns a truncated
+        # CheckResult with stop_reason set.
+        self.deadline_seconds = deadline_seconds
+        self.max_visited_bytes = max_visited_bytes
         self._invariant_evals: dict[str, int] = {}
         self._handler_fires: dict[str, int] = {}
         self._progress_window: deque = deque(maxlen=8)
@@ -1067,6 +1130,29 @@ class ModelChecker:
         """Breadth-first exploration from the initial state."""
         if self.por:
             return self._run_por()
+        # Ctrl-C parity with the parallel master: when a checkpoint path
+        # is configured (and we own the main thread's signal handling),
+        # SIGINT is flagged instead of raised, the current state
+        # finishes cleanly, and the guard at the next frontier pop
+        # writes a resumable checkpoint and returns a stop_reason=
+        # "interrupted" result.  Without a checkpoint path the classic
+        # KeyboardInterrupt propagates unchanged.
+        if (self.checkpoint_out is not None
+                and threading.current_thread()
+                is threading.main_thread()):
+            interrupt_cell = [False]
+
+            def _flag_interrupt(_signum, _frame):
+                interrupt_cell[0] = True
+
+            previous = signal.signal(signal.SIGINT, _flag_interrupt)
+            try:
+                return self._run_bfs(interrupt_cell)
+            finally:
+                signal.signal(signal.SIGINT, previous)
+        return self._run_bfs([False])
+
+    def _run_bfs(self, interrupt_cell) -> CheckResult:
         start_time = time.perf_counter()
         prof = self.profiler
         if prof is not None:
@@ -1083,28 +1169,131 @@ class ModelChecker:
                 tuple(inv for _name, inv in self._named_invariants), {})
         else:
             self._inv_verdicts = None
-        initial = initial_global_state(
-            self.protocol, self.n_nodes, self.n_blocks, self.home_of,
-            self.events.initial, faults=self.fault_budget)
-
         # The visited set and parent pointers are keyed either by the
         # state itself or, in fingerprint mode, by its 64-bit digest.
         fp = self.fingerprint_fn if self.fingerprint_states else None
-        initial_key = fp(initial) if fp else initial
         atlas = self.atlas
         if atlas is not None:
             atlas.bind(self.protocol, self.n_nodes, self.n_blocks)
-            atlas.visit(initial, 0,
-                        fp=initial_key if fp is not None else None)
-        visited = {initial_key}
-        parents: dict = {initial_key: (None, "<initial>")}
-        depth: dict = {initial_key: 0}
-        frontier: deque = deque([(initial, initial_key)])
-        graph: dict[GlobalState, list[GlobalState]] = (
-            {initial: []} if self.check_progress else {})
+        visited: set = set()
+        parents: dict = {}
+        depth: dict = {}
+        frontier: deque = deque()
+        graph: dict[GlobalState, list[GlobalState]] = {}
         transitions = 0
         max_depth = 0
         hit_limit = False
+        stop_reason: Optional[str] = None
+        baseline_elapsed = 0.0
+        seed_violations: list = []
+        initial = None
+
+        if self.resume:
+            payload = load_checkpoint(self.resume)
+            validate_resume(payload, config_echo(self, self.symmetry),
+                            self.resume)
+            baseline_elapsed = payload["elapsed"]
+            transitions = payload["transitions"]
+            max_depth = payload["max_depth"]
+            self._invariant_evals = dict(payload["invariant_evals"])
+            self._handler_fires = dict(payload["handler_fires"])
+            for fp_hex in payload["visited"]:
+                visited.add(int(fp_hex, 16))
+            for fp_hex, (pfp_hex, label) in payload["parents"].items():
+                parents[int(fp_hex, 16)] = (
+                    None if pfp_hex is None else int(pfp_hex, 16), label)
+            # Re-accept the checkpoint frontier exactly as the parallel
+            # seed op does: the frontier is pre-acceptance in the
+            # on-disk format, so a state proposed twice takes the
+            # canonical minimum (parent fp, label) edge and invariants
+            # run here, at acceptance.
+            best: dict = {}
+            order: list = []
+            for fp_hex, state_json, pfp_hex, label, d in (
+                    payload["frontier"]):
+                sfp = int(fp_hex, 16)
+                if sfp in visited:
+                    continue
+                pfp = None if pfp_hex is None else int(pfp_hex, 16)
+                edge = (pfp if pfp is not None else -1, label or "")
+                current = best.get(sfp)
+                if current is None:
+                    order.append(sfp)
+                    best[sfp] = (edge, state_json, pfp, label, d)
+                elif edge < current[0]:
+                    best[sfp] = (edge, state_json, pfp, label, d)
+            # Null-state frontier entries are reconstructed by replaying
+            # their (parent fp, label) chains.  Sibling frontier states
+            # share almost their whole chain, so replayed ancestors are
+            # cached by fingerprint: each chain replays only the suffix
+            # below its deepest cached ancestor.
+            clone = self.fresh_clone()
+            clone._named_invariants = [
+                (clone._invariant_name(inv), inv)
+                for inv in clone.invariants]
+            replay_cache: dict = {}
+
+            def replayed(sfp, pfp, label):
+                chain = [(sfp, label)]
+                cursor = pfp
+                while cursor is not None and cursor not in replay_cache:
+                    try:
+                        up, lbl = parents[cursor]
+                    except KeyError:
+                        raise CheckpointError(
+                            f"{self.resume}: frontier state "
+                            f"{sfp:016x} has a broken parent chain "
+                            f"(missing ancestor {cursor:016x})") from None
+                    chain.append((cursor, lbl))
+                    cursor = up
+                state = (replay_cache[cursor] if cursor is not None
+                         else initial_global_state(
+                             self.protocol, self.n_nodes, self.n_blocks,
+                             self.home_of, self.events.initial,
+                             faults=self.fault_budget))
+                for node_fp, lbl in reversed(chain):
+                    if lbl and lbl != "<initial>":
+                        try:
+                            state = replay_step(clone, state, lbl)
+                        except TraceReplayError as error:
+                            raise CheckpointError(
+                                f"{self.resume}: frontier replay "
+                                f"failed ({error}); the checkpoint "
+                                "does not match this protocol build"
+                            ) from None
+                    replay_cache[node_fp] = state
+                return state
+
+            for sfp in order:
+                _edge, state_json, pfp, label, d = best[sfp]
+                if state_json is None:
+                    state = replayed(sfp, pfp, label)
+                else:
+                    state = state_from_jsonable(state_json)
+                visited.add(sfp)
+                parents[sfp] = (pfp, label)
+                depth[sfp] = d
+                max_depth = max(max_depth, d)
+                if atlas is not None:
+                    atlas.visit(state, d, fp=sfp)
+                message = self._check_invariants(state)
+                if message is not None:
+                    seed_violations.append((d, message, sfp, state))
+                frontier.append((state, sfp))
+        else:
+            initial = initial_global_state(
+                self.protocol, self.n_nodes, self.n_blocks, self.home_of,
+                self.events.initial, faults=self.fault_budget)
+            initial_key = fp(initial) if fp else initial
+            if atlas is not None:
+                atlas.visit(initial, 0,
+                            fp=initial_key if fp is not None else None)
+            visited.add(initial_key)
+            parents[initial_key] = (None, "<initial>")
+            depth[initial_key] = 0
+            frontier.append((initial, initial_key))
+            if self.check_progress:
+                graph[initial] = []
 
         def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
             if fp is not None and violation is not None:
@@ -1121,7 +1310,8 @@ class ModelChecker:
                 states_explored=len(visited),
                 transitions=transitions,
                 max_depth=max_depth,
-                elapsed_seconds=time.perf_counter() - start_time,
+                elapsed_seconds=baseline_elapsed
+                + (time.perf_counter() - start_time),
                 violation=violation,
                 n_nodes=self.n_nodes,
                 n_blocks=self.n_blocks,
@@ -1129,10 +1319,11 @@ class ModelChecker:
                 hit_state_limit=hit_limit,
                 invariant_evals=dict(self._invariant_evals),
                 handler_fires=dict(self._handler_fires),
-                exhausted=not hit_limit,
+                exhausted=not hit_limit and stop_reason is None,
                 fault_budget=self.fault_budget,
                 canonical_states=(len(visited) if self.symmetry
                                   else None),
+                stop_reason=stop_reason,
             )
             if prof is not None:
                 prof.sample(len(visited), len(frontier), max_depth,
@@ -1140,8 +1331,8 @@ class ModelChecker:
                 prof.set_visited(
                     entries=len(visited),
                     mode="fingerprint" if fp is not None else "state",
-                    container_bytes=(sys.getsizeof(visited)
-                                     + sys.getsizeof(parents)))
+                    container_bytes=visited_container_bytes(
+                        visited, parents))
                 res.profile = prof.build(res)
             if atlas is not None:
                 res.atlas = atlas.build(res)
@@ -1159,14 +1350,142 @@ class ModelChecker:
             labels.append(last_label)
             return labels
 
-        violation = self._check_invariants(initial)
-        if violation is not None:
-            return result(False, Violation(
-                "invariant", violation, ["<initial>"], initial))
+        if self.resume:
+            if seed_violations:
+                # Same canonical choice the parallel seed makes: the
+                # minimum (depth, message, fingerprint) violation, so
+                # the verdict is engine- and worker-count independent.
+                d, message, sfp, state = min(
+                    seed_violations, key=lambda v: (v[0], v[1], v[2]))
+                labels: list[str] = []
+                cursor = sfp
+                while cursor is not None:
+                    parent, label = parents[cursor]
+                    if parent is not None:
+                        labels.append(label)
+                    cursor = parent
+                labels.reverse()
+                if not labels:
+                    labels = ["<initial>"]
+                return result(False, Violation(
+                    "invariant", message, labels, state))
+        else:
+            violation = self._check_invariants(initial)
+            if violation is not None:
+                return result(False, Violation(
+                    "invariant", violation, ["<initial>"], initial))
+
+        # The guard runs once per popped state, only when checkpointing
+        # or budgets are armed -- unarmed runs execute the loop the hot
+        # path always ran.  Stopping at the top of the loop is a clean
+        # cut: every non-frontier visited state is fully expanded, so
+        # the checkpoint resumes to the exact uninterrupted result.
+        guard_armed = (self.checkpoint_out is not None
+                       or self.deadline_seconds is not None
+                       or self.max_visited_bytes is not None)
+
+        def write_ckpt(durable=True):
+            started = time.perf_counter()
+            frontier_keys = {key for _state, key in frontier}
+            # Frontier states are accepted (and invariant-checked) in
+            # this loop but pre-acceptance in the on-disk format; every
+            # accepted passing state contributed exactly one evaluation
+            # per invariant, so subtracting the frontier size converts
+            # the counters to the cut's pre-acceptance semantics.
+            drained = len(frontier_keys)
+            invariant_evals = {
+                name: max(0, count - drained)
+                for name, count in self._invariant_evals.items()}
+            payload = dict(config_echo(self, self.symmetry))
+            payload.update({
+                "kind": CHECKPOINT_KIND,
+                "v": CHECKPOINT_VERSION,
+                "wave": depth[frontier[0][1]],
+                "transitions": transitions,
+                "max_depth": max_depth,
+                "elapsed": baseline_elapsed
+                + (time.perf_counter() - start_time),
+                "invariant_evals": invariant_evals,
+                "handler_fires": dict(self._handler_fires),
+                "visited": [f"{key:016x}" for key in visited
+                            if key not in frontier_keys],
+                "parents": {
+                    f"{key:016x}": [
+                        None if parent is None else f"{parent:016x}",
+                        label]
+                    for key, (parent, label) in parents.items()
+                    if key not in frontier_keys},
+                # Frontier states are stored by reference (null state
+                # slot): the (parent fp, label) chain reconstructs each
+                # one at resume by replay.  Serializing thousands of
+                # concrete frontier states made every periodic write
+                # O(frontier x state size) -- the dominant cost of
+                # checkpointing; the chain reference is a few bytes.
+                "frontier": [
+                    [f"{key:016x}", None,
+                     (None if parents[key][0] is None
+                      else f"{parents[key][0]:016x}"),
+                     parents[key][1], depth[key]]
+                    for _state, key in frontier],
+            })
+            write_checkpoint(self.checkpoint_out, payload,
+                             self.checkpoint_keep_last, durable=durable)
+            cost = time.perf_counter() - started
+            if prof is not None:
+                prof.add_phase("checkpoint_io", cost)
+            return cost
+
+        last_ckpt_wave = depth[frontier[0][1]] if frontier else 0
+        last_ckpt_time = start_time
+        last_ckpt_cost = 0.0
 
         certify = (self.symmetry and self._canon is not None
                    and self._canon.perms)
         while frontier:
+            if guard_armed:
+                reason = None
+                if len(visited) >= self.max_states:
+                    hit_limit = True
+                    reason = "state_limit"
+                elif interrupt_cell[0]:
+                    reason = "interrupted"
+                elif (self.deadline_seconds is not None
+                      and time.perf_counter() - start_time
+                      >= self.deadline_seconds):
+                    reason = "deadline"
+                elif (self.max_visited_bytes is not None
+                      and visited_container_bytes(visited, parents)
+                      > self.max_visited_bytes):
+                    reason = "memory"
+                if reason is not None:
+                    if self.checkpoint_out is not None:
+                        write_ckpt()
+                    if reason != "state_limit":
+                        stop_reason = reason
+                    return result(True, None)
+                if (self.checkpoint_out is not None
+                        and (self.checkpoint_interval_waves
+                             or self.checkpoint_interval_seconds)):
+                    head_depth = depth[frontier[0][1]]
+                    # perf_counter only when a time interval is armed:
+                    # this branch runs once per popped state.
+                    if (((self.checkpoint_interval_waves
+                          and head_depth - last_ckpt_wave
+                          >= self.checkpoint_interval_waves)
+                         or (self.checkpoint_interval_seconds
+                             and time.perf_counter() - last_ckpt_time
+                             >= self.checkpoint_interval_seconds))
+                            and time.perf_counter() - last_ckpt_time
+                            >= PERIODIC_SPACING_RATIO * last_ckpt_cost):
+                        # Periodic writes skip the fsync: their loss
+                        # window is the next interval, and the final
+                        # (durable) write still lands at every stop.
+                        # The spacing guard self-limits checkpoint time
+                        # to a bounded wall-time fraction (see
+                        # PERIODIC_SPACING_RATIO).
+                        last_ckpt_cost = write_ckpt(durable=False)
+                        last_ckpt_wave = head_depth
+                        last_ckpt_time = time.perf_counter()
             state, key = frontier.popleft()
             found_successor = False
             out_degree = 0
@@ -1210,7 +1529,12 @@ class ModelChecker:
                             prof.add_phase("visited",
                                            time.perf_counter() - t0)
                         continue
-                    if len(visited) >= self.max_states:
+                    if (len(visited) >= self.max_states
+                            and not guard_armed):
+                        # Guard-armed runs defer the limit to the next
+                        # pop so truncation lands on a clean cut (every
+                        # visited non-frontier state fully expanded)
+                        # and the checkpoint resumes exactly.
                         hit_limit = True
                         return result(True, None)
                     visited.add(succ_key)
@@ -1261,7 +1585,7 @@ class ModelChecker:
                     "in flight",
                     trace_to(key, "<stuck>"), state))
 
-        if self.check_progress:
+        if self.check_progress and not hit_limit and stop_reason is None:
             violation = self._check_progress(graph, parents)
             if violation is not None:
                 return result(False, violation)
@@ -1387,6 +1711,7 @@ class ModelChecker:
         pruned = 0
         max_depth = 0
         hit_limit = False
+        stop_reason: Optional[str] = None
 
         def result(ok: bool, violation: Optional[Violation]) -> CheckResult:
             if fp is not None and violation is not None:
@@ -1409,11 +1734,12 @@ class ModelChecker:
                 hit_state_limit=hit_limit,
                 invariant_evals=dict(self._invariant_evals),
                 handler_fires=dict(self._handler_fires),
-                exhausted=not hit_limit,
+                exhausted=not hit_limit and stop_reason is None,
                 fault_budget=self.fault_budget,
                 canonical_states=(len(visited) if self.symmetry
                                   else None),
                 pruned_transitions=pruned,
+                stop_reason=stop_reason,
             )
             if prof is not None:
                 prof.sample(len(visited), len(frontier), max_depth,
@@ -1469,7 +1795,23 @@ class ModelChecker:
             return result(False, Violation(
                 "invariant", violation, ["<initial>"], initial))
 
+        budget_armed = (self.deadline_seconds is not None
+                        or self.max_visited_bytes is not None)
         while frontier:
+            if budget_armed:
+                # POR rejects checkpointing (pruning state is not
+                # serialized), but budgets still stop the run cleanly
+                # with a stop_reason instead of running unbounded.
+                if (self.deadline_seconds is not None
+                        and time.perf_counter() - start_time
+                        >= self.deadline_seconds):
+                    stop_reason = "deadline"
+                    return result(True, None)
+                if (self.max_visited_bytes is not None
+                        and visited_container_bytes(visited, parents)
+                        > self.max_visited_bytes):
+                    stop_reason = "memory"
+                    return result(True, None)
             key = frontier.popleft()
             entry = meta[key]
             state, sleep, explored = entry[0], entry[1], entry[2]
@@ -1802,6 +2144,28 @@ def replay_labels(checker: ModelChecker, labels: list) -> GlobalState:
                 f"{labelled.message!r} while looking for {label!r}"
             ) from None
     return state
+
+
+def replay_step(checker: ModelChecker, state: GlobalState,
+                label: str) -> GlobalState:
+    """One deterministic replay step: the successor of ``state`` whose
+    rule label is ``label``.
+
+    The memoized chain replays (checkpoint frontier reconstruction)
+    call this per edge below a cached ancestor instead of re-walking
+    whole chains through :func:`replay_labels`.  ``checker`` must have
+    ``_named_invariants`` prepared.  Raises :class:`TraceReplayError`
+    when no successor carries the label or an error rule fires first --
+    either means the chain does not belong to this protocol build."""
+    try:
+        for candidate, successor in checker._successors(state):
+            if candidate == label:
+                return successor
+    except _LabelledViolation as labelled:
+        raise TraceReplayError(
+            f"rule {labelled.label!r} raised {labelled.message!r} "
+            f"while looking for {label!r}") from None
+    raise TraceReplayError(f"no successor labelled {label!r}")
 
 
 class _LabelledViolation(Exception):

@@ -1,0 +1,173 @@
+"""Sealed, crash-safe checkpoint I/O shared by both checking engines.
+
+A checkpoint is pure JSON (kind ``teapot-parallel-checkpoint``, v1 --
+the name is historical; the serial checker writes and resumes the same
+format).  This module owns the on-disk concerns both engines share:
+
+* **Atomic writes** -- every checkpoint goes through
+  :func:`repro.ioutil.atomic_write_json` (tmp + fsync + rename), so a
+  crash mid-write can never leave a parseable-but-partial file.
+* **A payload seal** -- a BLAKE2b digest over the canonical JSON of the
+  payload (excluding the ``seal`` field itself and the volatile
+  ``elapsed`` wall-clock, which legitimately differs between otherwise
+  identical runs).  :func:`load_checkpoint` verifies it, turning
+  bit-flips and truncation into a one-line :class:`CheckpointError`
+  instead of a resumed-from-garbage run.  Checkpoints written before
+  the seal existed (no ``seal`` key) still load.
+* **Rotation** -- ``keep_last`` > 1 shifts ``path`` -> ``path.1`` ->
+  ``path.2`` ... before each write, keeping a bounded history of the
+  newest checkpoints.
+* **Config echo** -- the configuration fingerprint embedded in every
+  checkpoint so a resume against a different protocol/topology fails
+  loudly rather than exploring nonsense.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.ioutil import atomic_write_text
+
+CHECKPOINT_KIND = "teapot-parallel-checkpoint"
+CHECKPOINT_VERSION = 1
+
+# Keys excluded from the seal: the seal itself, and the one field two
+# byte-identical explorations legitimately disagree on (wall time).
+_UNSEALED_KEYS = ("seal", "elapsed")
+
+# Periodic checkpoints self-limit: a scheduled write is deferred until
+# the time since the last write is at least this multiple of that
+# write's measured cost, capping checkpoint time at <= 1/(1+ratio) =
+# 5% of wall regardless of state-space size or filesystem speed --
+# half the 10% budget the CI bench gate enforces, so the measured
+# overhead clears the gate even under scheduling noise.  The interval
+# flags are therefore a request, not a promise of cadence; a slow disk
+# widens the spacing instead of stalling the search.
+PERIODIC_SPACING_RATIO = 19.0
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is malformed, corrupt, or belongs to another
+    run."""
+
+
+def seal_payload(payload: dict) -> str:
+    """BLAKE2b digest of the payload's canonical JSON (sorted keys,
+    compact separators), excluding the seal and elapsed fields."""
+    body = {key: value for key, value in payload.items()
+            if key not in _UNSEALED_KEYS}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+def write_checkpoint(path: str, payload: dict, keep_last: int = 1,
+                     durable: bool = True) -> None:
+    """Seal and atomically write a checkpoint, rotating prior files.
+
+    With ``keep_last=N`` the previous checkpoint survives as
+    ``path.1`` (and older ones as ``path.2`` ... ``path.N-1``).
+
+    The payload is serialized exactly once: the canonical JSON the seal
+    is computed over *is* the file body, with the unsealed fields
+    (``seal``, ``elapsed``) spliced onto the end.  Periodic checkpoints
+    fire many times per run, and serializing a large visited set twice
+    (once to seal, once to write) was the single biggest cost.
+
+    ``durable=False`` skips the fsync (rename atomicity is kept):
+    right for *periodic* checkpoints, whose loss window is the next
+    interval; final and stop-reason checkpoints should stay durable."""
+    keep_last = max(1, int(keep_last))
+    for age in range(keep_last - 1, 0, -1):
+        older = path if age == 1 else f"{path}.{age - 1}"
+        if os.path.exists(older):
+            os.replace(older, f"{path}.{age}")
+    body = {key: value for key, value in payload.items()
+            if key not in _UNSEALED_KEYS}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    seal = hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+    tail = f',"seal":{json.dumps(seal)}'
+    if "elapsed" in payload:
+        tail += f',"elapsed":{json.dumps(payload["elapsed"])}'
+    atomic_write_text(path, f"{canonical[:-1]}{tail}}}\n", fsync=durable)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read, seal-verify, and structurally validate a checkpoint.
+
+    Every failure mode is a one-line :class:`CheckpointError`: not
+    JSON (truncated or binary-corrupted), wrong kind, unknown version,
+    or a seal mismatch (bit-flipped payload)."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"{path}: truncated or corrupt checkpoint "
+            f"(not valid JSON: {error.msg} at line {error.lineno})"
+        ) from None
+    except UnicodeDecodeError:
+        raise CheckpointError(
+            f"{path}: truncated or corrupt checkpoint (not UTF-8 text)"
+        ) from None
+    if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"{path}: not a teapot parallel checkpoint")
+    if payload.get("v") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {payload.get('v')!r}, "
+            f"expected {CHECKPOINT_VERSION}")
+    stored_seal = payload.get("seal")
+    if stored_seal is not None:
+        computed = seal_payload(payload)
+        if stored_seal != computed:
+            raise CheckpointError(
+                f"{path}: seal mismatch (stored {stored_seal[:12]}..., "
+                f"computed {computed[:12]}...); the checkpoint was "
+                "corrupted or edited after it was written")
+    for key in ("wave", "transitions", "max_depth", "elapsed",
+                "invariant_evals", "handler_fires", "visited", "parents",
+                "frontier"):
+        if key not in payload:
+            raise CheckpointError(
+                f"{path}: checkpoint is missing the {key!r} field")
+    return payload
+
+
+def config_echo(checker, symmetry: bool = False) -> dict:
+    """The configuration fingerprint embedded in every checkpoint.
+
+    ``checker`` is a serial :class:`~repro.verify.checker.ModelChecker`
+    (the parallel engine passes its template, which carries the same
+    fields)."""
+    echo = {
+        "protocol": checker.protocol.name,
+        "n_nodes": checker.n_nodes,
+        "n_blocks": checker.n_blocks,
+        "reorder_bound": checker.reorder_bound,
+        "channel_cap": checker.channel_cap,
+        "events": type(checker.events).__name__,
+    }
+    # Included only when nonzero so fault-free checkpoints written
+    # before fault budgets existed still validate against the same
+    # configuration today.
+    if checker.fault_budget != (0, 0):
+        echo["faults"] = list(checker.fault_budget)
+    # Same back-compat shape: a symmetry-reduced run's visited set is
+    # keyed by canonical fingerprints, so its checkpoints must never
+    # resume an unreduced run (or vice versa).
+    if symmetry:
+        echo["symmetry"] = True
+    return echo
+
+
+def validate_resume(payload: dict, echo: dict, path: str) -> None:
+    """Reject a checkpoint written under a different configuration."""
+    stored = {key: payload.get(key) for key in echo}
+    if stored != echo:
+        diffs = ", ".join(
+            f"{key}: checkpoint={stored[key]!r} run={echo[key]!r}"
+            for key in echo if stored[key] != echo[key])
+        raise CheckpointError(
+            f"{path}: checkpoint is for a different configuration "
+            f"({diffs})")

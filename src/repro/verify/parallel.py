@@ -57,24 +57,43 @@ of reporting a bogus trace.
 
 Checkpoints are pure JSON (no pickles; see
 :mod:`repro.verify.fingerprint` for the state codec) and are written at
-layer boundaries when the run truncates at ``max_states`` or is
-interrupted.  The frontier in a checkpoint is materialized by fetching
-the pending candidates' states from the sender stashes, so the on-disk
-format is unchanged from version 1: entries are keyed by fingerprint and
-a checkpoint written at one worker count can be resumed at any other.
+layer boundaries when the run truncates at ``max_states``, hits a
+resource budget, is interrupted, or a periodic checkpoint interval
+elapses (``checkpoint_interval_waves`` / ``checkpoint_interval_seconds``,
+rotated through ``checkpoint_keep_last``).  Writes are sealed and atomic
+(:mod:`repro.verify.checkpoint`).  The frontier in a checkpoint is
+materialized by fetching the pending candidates' states from the sender
+stashes, so the on-disk format is unchanged from version 1: entries are
+keyed by fingerprint and a checkpoint written at one worker count can be
+resumed at any other -- or by the serial checker.
+
+Worker supervision: every barrier exchange polls the worker pipes with
+liveness checks instead of blocking on ``recv``, so a SIGKILLed (or,
+with ``worker_stall_timeout``, a wedged) worker surfaces as a typed
+loss instead of a hang.  Under ``on_worker_loss="fail"`` (the default)
+the loss raises :class:`WorkerLostError`.  Under ``"degrade"`` the
+master additionally maintains a *mirror* of the exploration at each
+wave barrier -- the synchronous cut where every accepted state is
+expanded and every pending candidate is routed metadata -- and recovers
+by tearing the fleet down, re-sharding the mirror onto one fewer
+worker, reconstructing the pending frontier states by replaying their
+canonical parent-label chains, and re-entering the loop.  Because the
+cut is consistent and the exchange is deterministic, the recovered run
+reaches the identical verdict, state count, transition count, coverage
+maps, and counterexample trace as an undisturbed run; only the
+observability artifacts (profile, atlas) degrade to best-effort.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing
 import os
 import pickle
-import sys
 import time
 from collections import defaultdict, deque
 from typing import IO, Optional
 
+from repro.obs.profile import visited_container_bytes
 from repro.runtime.exec import HandlerInterpreter
 from repro.runtime.protocol import CompiledProtocol
 from repro.verify.checker import (
@@ -83,17 +102,35 @@ from repro.verify.checker import (
     SymmetryError,
     Violation,
     _LabelledViolation,
+    TraceReplayError,
     _eta_seconds,
     _rolling_rate,
     format_progress_line,
+    replay_step,
+)
+from repro.verify.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_VERSION,
+    PERIODIC_SPACING_RATIO,
+    CheckpointError,
+    config_echo,
+    load_checkpoint,
+    validate_resume,
+    write_checkpoint,
 )
 from repro.verify.events import EventGenerator
-from repro.verify.fingerprint import state_from_jsonable, state_to_jsonable
+from repro.verify.fingerprint import state_from_jsonable
 from repro.verify.invariants import Invariant
 from repro.verify.model import initial_global_state
 
-CHECKPOINT_KIND = "teapot-parallel-checkpoint"
-CHECKPOINT_VERSION = 1
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "ParallelChecker",
+    "WorkerLostError",
+    "load_checkpoint",
+]
 
 _DEADLOCK_MESSAGE = ("no rule enabled: all nodes blocked and no messages "
                      "in flight")
@@ -103,6 +140,18 @@ _DEADLOCK_MESSAGE = ("no rule enabled: all nodes blocked and no messages "
 # round-trips exceeds the imbalance.
 _STEAL_THRESHOLD = 4
 
+# How long a worker pipe may stay silent before the master re-checks the
+# worker process is alive.  Small enough that a SIGKILLed worker is
+# noticed within a fraction of a second, large enough to stay off the
+# hot path (a reply normally arrives long before the first poll lapses).
+_LIVENESS_POLL_SECONDS = 0.05
+
+# Fresh worker processes are retried this many times with exponential
+# backoff before the spawn is declared failed (transient EAGAIN /
+# fork-bomb-limiter conditions clear quickly or not at all).
+_SPAWN_ATTEMPTS = 3
+
+
 # Violation kinds sort alphabetically, which happens to put "deadlock"
 # before "error" before "invariant"; the rank only needs to be total and
 # worker-count independent, not meaningful.
@@ -111,21 +160,20 @@ def _violation_rank(record):
     return (depth, kind, message, label or "", fp)
 
 
-class CheckpointError(ValueError):
-    """A checkpoint file is malformed or belongs to another run."""
+class WorkerLostError(RuntimeError):
+    """A worker process died (or stalled past ``worker_stall_timeout``)
+    and the run was configured with ``on_worker_loss="fail"``, or the
+    degrade policy ran out of recovery attempts."""
 
 
-def load_checkpoint(path: str) -> dict:
-    """Read and structurally validate a checkpoint file."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
-        raise CheckpointError(f"{path}: not a teapot parallel checkpoint")
-    if payload.get("v") != CHECKPOINT_VERSION:
-        raise CheckpointError(
-            f"{path}: checkpoint version {payload.get('v')!r}, "
-            f"expected {CHECKPOINT_VERSION}")
-    return payload
+class _WorkerLost(Exception):
+    """Internal: a worker went silent mid-barrier.  Caught by the
+    master's recovery loop, never escapes :meth:`ParallelChecker.run`."""
+
+    def __init__(self, worker_id: int, phase: str):
+        self.worker_id = worker_id
+        self.phase = phase
+        super().__init__(f"worker {worker_id} lost during {phase}")
 
 
 def _worker_main(conn, worker_id: int, n_workers: int,
@@ -401,6 +449,13 @@ def _worker_main(conn, worker_id: int, n_workers: int,
                 "violations": violations,
                 "symmetry_error": symmetry_error,
                 "inv_evals": sum(checker._invariant_evals.values()),
+                # Cumulative per-name maps and the shard's container
+                # bytes ride on every expand reply: the master needs
+                # them to snapshot a consistent cut (degrade-mode
+                # mirror) and to enforce the visited-byte budget.
+                "inv_detail": dict(checker._invariant_evals),
+                "fire_detail": dict(checker._handler_fires),
+                "visited_bytes": visited_container_bytes(visited, parents),
                 "seconds": time.perf_counter() - started,
             }))
 
@@ -421,8 +476,8 @@ def _worker_main(conn, worker_id: int, n_workers: int,
             if checker.profiler is not None:
                 checker.profiler.set_visited(
                     entries=len(visited), mode="fingerprint",
-                    container_bytes=(sys.getsizeof(visited)
-                                     + sys.getsizeof(parents)))
+                    container_bytes=visited_container_bytes(
+                        visited, parents))
                 profile_payload = checker.profiler.worker_payload()
             conn.send(("stats", {
                 "handler_fires": dict(checker._handler_fires),
@@ -440,9 +495,22 @@ class ParallelChecker:
     Accepts the same protocol/configuration surface as
     :class:`~repro.verify.checker.ModelChecker` plus ``workers`` (the
     number of shard-owning processes), ``checkpoint_out`` (where to dump
-    a resumable JSON checkpoint if the run truncates or is
-    interrupted), and ``resume`` (a checkpoint to continue from --
-    written at any worker count).
+    a resumable JSON checkpoint if the run truncates, hits a budget, or
+    is interrupted -- plus periodically when the interval knobs are
+    set), and ``resume`` (a checkpoint to continue from -- written at
+    any worker count, or by the serial checker).
+
+    Resilience knobs: ``on_worker_loss`` picks the policy when a worker
+    process dies mid-run (``"fail"`` raises :class:`WorkerLostError`;
+    ``"degrade"`` re-shards the last completed wave onto one fewer
+    worker and continues, verdict-identical), ``worker_stall_timeout``
+    additionally treats a worker silent for that many seconds during a
+    barrier as lost (SIGKILLing it first), and ``deadline_seconds`` /
+    ``max_visited_bytes`` stop the run gracefully at the next wave
+    boundary with ``CheckResult.stop_reason`` set and a resumable
+    checkpoint written.  ``chaos_hook`` (testing) is called as
+    ``hook(wave_no, procs)`` before each wave so fault-injection
+    harnesses can disturb the fleet deterministically.
 
     ``run()`` returns the same :class:`CheckResult`; on passing runs the
     state count, transition count, depth, and coverage maps match the
@@ -472,14 +540,34 @@ class ParallelChecker:
         atlas=None,
         engine: str = "fast",
         symmetry: bool = False,
+        on_worker_loss: str = "fail",
+        worker_stall_timeout: Optional[float] = None,
+        checkpoint_interval_waves: Optional[int] = None,
+        checkpoint_interval_seconds: Optional[float] = None,
+        checkpoint_keep_last: int = 1,
+        deadline_seconds: Optional[float] = None,
+        max_visited_bytes: Optional[int] = None,
+        chaos_hook=None,
     ):
         if workers is None:
             workers = min(4, os.cpu_count() or 1)
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if on_worker_loss not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_worker_loss must be 'fail' or 'degrade', "
+                f"got {on_worker_loss!r}")
         self.workers = workers
         self.checkpoint_out = checkpoint_out
         self.resume = resume
+        self.on_worker_loss = on_worker_loss
+        self.worker_stall_timeout = worker_stall_timeout
+        self.checkpoint_interval_waves = checkpoint_interval_waves
+        self.checkpoint_interval_seconds = checkpoint_interval_seconds
+        self.checkpoint_keep_last = checkpoint_keep_last
+        self.deadline_seconds = deadline_seconds
+        self.max_visited_bytes = max_visited_bytes
+        self.chaos_hook = chaos_hook
         self.progress_stream = progress_stream
         self.progress_every = max(1, progress_every)
         # The master keeps this profiler; forked workers inherit the
@@ -513,60 +601,32 @@ class ParallelChecker:
 
     # -- checkpoint plumbing ------------------------------------------------
 
-    def _config_echo(self) -> dict:
-        t = self._template
-        echo = {
-            "protocol": t.protocol.name,
-            "n_nodes": t.n_nodes,
-            "n_blocks": t.n_blocks,
-            "reorder_bound": t.reorder_bound,
-            "channel_cap": t.channel_cap,
-            "events": type(t.events).__name__,
-        }
-        # Included only when nonzero so fault-free checkpoints written
-        # before fault budgets existed still validate against the same
-        # configuration today.
-        if t.fault_budget != (0, 0):
-            echo["faults"] = list(t.fault_budget)
-        # Same back-compat shape: a symmetry-reduced run's visited set
-        # is keyed by canonical fingerprints, so its checkpoints must
-        # never resume an unreduced run (or vice versa).
-        if self.symmetry:
-            echo["symmetry"] = True
-        return echo
-
-    def _validate_resume(self, payload: dict) -> None:
-        echo = self._config_echo()
-        stored = {key: payload.get(key) for key in echo}
-        if stored != echo:
-            diffs = ", ".join(
-                f"{key}: checkpoint={stored[key]!r} run={echo[key]!r}"
-                for key in echo if stored[key] != echo[key])
-            raise CheckpointError(
-                f"{self.resume}: checkpoint is for a different "
-                f"configuration ({diffs})")
-
-    def _write_checkpoint(self, path, conns, meta, wave, stats) -> None:
+    def _write_checkpoint(self, path, conns, meta, wave, stats,
+                          durable=True) -> None:
         if self.profiler is not None:
             started = time.perf_counter()
             try:
                 self._write_checkpoint_inner(
-                    path, conns, meta, wave, stats)
+                    path, conns, meta, wave, stats, durable)
             finally:
                 self.profiler.add_phase(
                     "checkpoint_io", time.perf_counter() - started)
             return
-        self._write_checkpoint_inner(path, conns, meta, wave, stats)
+        self._write_checkpoint_inner(path, conns, meta, wave, stats,
+                                     durable)
 
     def _write_checkpoint_inner(self, path, conns, meta, wave,
-                                stats) -> None:
+                                stats, durable=True) -> None:
         visited: list[str] = []
         parents: dict[str, list] = {}
         invariant_evals = dict(stats["invariant_evals"])
         handler_fires = dict(stats["handler_fires"])
-        for conn in conns:
-            conn.send(("collect",))
-            _, shard = conn.recv()
+        for i, conn in enumerate(conns):
+            try:
+                conn.send(("collect",))
+                _, shard = conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                raise _WorkerLost(i, "checkpoint collect") from None
             visited.extend(f"{fp:016x}" for fp in shard["visited"])
             for fp, (pfp, label) in shard["parents"].items():
                 parents[f"{fp:016x}"] = [
@@ -575,24 +635,18 @@ class ParallelChecker:
                 invariant_evals[name] = invariant_evals.get(name, 0) + count
             for name, count in shard["handler_fires"].items():
                 handler_fires[name] = handler_fires.get(name, 0) + count
-        # The pending frontier is metadata; materialize the states from
-        # the sender stashes so the on-disk format stays full-state.
-        by_sender: dict = defaultdict(list)
-        for batch in meta:
-            for fp, _pfp, _label, _depth, sender in batch:
-                by_sender[sender].append(fp)
-        states: dict = {}
-        for sender, fps in sorted(by_sender.items()):
-            conns[sender].send(("fetch", fps))
-            _, pairs = conns[sender].recv()
-            states.update(pairs)
+        # The pending frontier is stored by reference (null state
+        # slot): each record's (parent fp, label) chain reconstructs
+        # the concrete state at resume by memoized replay.  Fetching
+        # and serializing thousands of concrete stash states made
+        # every periodic write O(frontier x state size).
         frontier: list = []
         for batch in meta:
             for fp, pfp, label, depth, _sender in batch:
                 frontier.append([
-                    f"{fp:016x}", state_to_jsonable(states[fp]),
+                    f"{fp:016x}", None,
                     None if pfp is None else f"{pfp:016x}", label, depth])
-        payload = dict(self._config_echo())
+        payload = dict(config_echo(self._template, self.symmetry))
         payload.update({
             "kind": CHECKPOINT_KIND,
             "v": CHECKPOINT_VERSION,
@@ -606,22 +660,159 @@ class ParallelChecker:
             "parents": parents,
             "frontier": frontier,
         })
-        tmp = f"{path}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
-            handle.write("\n")
-        os.replace(tmp, path)
+        write_checkpoint(path, payload, self.checkpoint_keep_last,
+                         durable=durable)
+
+    def _write_checkpoint_from_mirror(self, path, mirror) -> None:
+        """Salvage checkpoint: built purely from the master's mirror,
+        for when the worker fleet is no longer trustworthy (recovery
+        budget exhausted).  Pending frontier states are stored by
+        reference, like every other writer's."""
+        pending = mirror["pending"]
+        payload = dict(config_echo(self._template, self.symmetry))
+        payload.update({
+            "kind": CHECKPOINT_KIND,
+            "v": CHECKPOINT_VERSION,
+            "wave": mirror["wave"],
+            "transitions": mirror["transitions"],
+            "max_depth": mirror["max_depth"],
+            "elapsed": mirror["elapsed_at_cut"],
+            "invariant_evals": dict(mirror["invariant_evals"]),
+            "handler_fires": dict(mirror["handler_fires"]),
+            "visited": [f"{fp:016x}" for fp in mirror["visited"]],
+            "parents": {
+                f"{fp:016x}": [
+                    None if pfp is None else f"{pfp:016x}", label]
+                for fp, (pfp, label) in mirror["parents"].items()
+                if fp not in pending},
+            "frontier": [
+                [f"{fp:016x}", None,
+                 None if pfp is None else f"{pfp:016x}", label, depth]
+                for fp, (pfp, label, depth) in pending.items()],
+        })
+        write_checkpoint(path, payload, self.checkpoint_keep_last)
+
+    # -- degrade-mode mirror ------------------------------------------------
+
+    def _pending_states(self, mirror) -> dict:
+        """Concrete states for every pending frontier record.
+
+        The seed wave's states are kept in the mirror directly (they
+        arrived as full states); later waves' states lived only in the
+        lost workers' stashes and are reconstructed by replaying each
+        record's parent-label chain from the initial state -- the same
+        deterministic replay that validates counterexample traces, so a
+        chain that fails to replay is a real integrity error."""
+        states = dict(mirror["pending_states"])
+        missing = [fp for fp in mirror["pending"] if fp not in states]
+        if not missing:
+            return states
+        template = self._template
+        replayer = template.fresh_clone()
+        replayer._named_invariants = [
+            (replayer._invariant_name(inv), inv)
+            for inv in replayer.invariants]
+        parents = mirror["parents"]
+        # Sibling frontier states share almost their whole chain, so
+        # replayed ancestors are cached by fingerprint and each chain
+        # replays only the suffix below its deepest cached ancestor.
+        cache: dict = {}
+        initial = initial_global_state(
+            template.protocol, template.n_nodes, template.n_blocks,
+            template.home_of, template.events.initial,
+            faults=template.fault_budget)
+        markers = ("<initial>", "<stuck>", "<thread lost>")
+        for fp in missing:
+            chain: list = []
+            cursor = fp
+            while cursor is not None and cursor not in cache:
+                entry = parents.get(cursor)
+                if entry is None:
+                    raise CheckpointError(
+                        f"recovery mirror parent chain broken at "
+                        f"fingerprint {cursor:016x}")
+                pfp, label = entry
+                chain.append((cursor, label if pfp is not None else None))
+                cursor = pfp
+            state = cache[cursor] if cursor is not None else initial
+            for node_fp, label in reversed(chain):
+                if label is not None and label not in markers:
+                    try:
+                        state = replay_step(replayer, state, label)
+                    except TraceReplayError as error:
+                        raise CheckpointError(
+                            f"frontier replay failed ({error}); the "
+                            "checkpoint does not match this protocol "
+                            "build") from None
+                cache[node_fp] = state
+            states[fp] = state
+        return states
+
+    def _advance_mirror(self, mirror, meta, wave, transitions, max_depth,
+                        baseline, expand_replies, start) -> None:
+        """Snapshot the consistent cut at this wave barrier.
+
+        Called right after routing: every previously pending state has
+        now been accepted and expanded (fold it into the mirror's
+        visited set), and ``meta`` holds the next wave's candidates.
+        The owner-side minimum-edge rule is applied here exactly as the
+        owners will apply it at ingest, so the mirror's parent edges
+        are the same canonical spanning tree the workers build."""
+        mirror["visited"].update(mirror["pending"])
+        mirror["pending"] = {}
+        mirror["pending_states"] = {}
+        visited = mirror["visited"]
+        pending: dict = {}
+        for batch in meta:
+            for fp, pfp, label, depth, _sender in batch:
+                if fp in visited:
+                    continue
+                current = pending.get(fp)
+                if current is None or (pfp, label) < (current[0],
+                                                      current[1]):
+                    pending[fp] = (pfp, label, depth)
+        mirror["pending"] = pending
+        for fp, (pfp, label, _depth) in pending.items():
+            mirror["parents"][fp] = (pfp, label)
+        mirror["wave"] = wave
+        mirror["transitions"] = transitions
+        mirror["max_depth"] = max_depth
+        mirror["elapsed_at_cut"] = (mirror["elapsed"]
+                                    + (time.perf_counter() - start))
+        invariant_evals = dict(baseline["invariant_evals"])
+        handler_fires = dict(baseline["handler_fires"])
+        for reply in expand_replies:
+            if not reply:
+                continue
+            for name, count in reply["inv_detail"].items():
+                invariant_evals[name] = (
+                    invariant_evals.get(name, 0) + count)
+            for name, count in reply["fire_detail"].items():
+                handler_fires[name] = handler_fires.get(name, 0) + count
+        mirror["invariant_evals"] = invariant_evals
+        mirror["handler_fires"] = handler_fires
 
     # -- trace reconstruction -----------------------------------------------
 
-    def _trace_for(self, conns, record) -> Violation:
+    def _trace_for(self, conns, record, n: int, mirror=None) -> Violation:
         kind, message, depth, fp, extra_label = record
         labels: list[str] = []
         cursor = fp
         while cursor is not None:
-            conn = conns[cursor % self.workers]
-            conn.send(("parent", cursor))
-            _, entry = conn.recv()
+            if mirror is not None:
+                # Degrade mode: walk the master's mirror instead of
+                # querying the (possibly already disturbed) workers --
+                # trace construction itself must survive a loss.  The
+                # mirror's edges are the same canonical minimum the
+                # owners stored, so the trace is identical.
+                entry = mirror["parents"].get(cursor)
+            else:
+                conn = conns[cursor % n]
+                try:
+                    conn.send(("parent", cursor))
+                    _, entry = conn.recv()
+                except (BrokenPipeError, EOFError, OSError):
+                    raise _WorkerLost(cursor % n, "trace walk") from None
             if entry is None:
                 raise CheckpointError(
                     f"parent chain broken at fingerprint {cursor:016x}")
@@ -641,42 +832,172 @@ class ParallelChecker:
     # -- the master loop ----------------------------------------------------
 
     def run(self) -> CheckResult:
+        """Explore, supervising the worker fleet.
+
+        Worker losses surface here: under ``on_worker_loss="fail"`` the
+        first loss raises :class:`WorkerLostError`; under ``"degrade"``
+        the run restarts from the mirror's last consistent cut on one
+        fewer worker, and -- if losses keep coming past the recovery
+        budget -- salvages a checkpoint and returns a truncated result
+        with ``stop_reason="worker_lost"``."""
         template = self._template
-        n = self.workers
         start = time.perf_counter()
 
-        baseline = {"wave": 0, "transitions": 0, "max_depth": 0,
-                    "elapsed": 0.0, "invariant_evals": {},
-                    "handler_fires": {}}
-        loads: list[tuple[list, dict]] = [([], {}) for _ in range(n)]
-        seeds: list[list] = [[] for _ in range(n)]
-
+        mirror = {
+            "visited": set(), "parents": {}, "pending": {},
+            "pending_states": {}, "wave": 0, "transitions": 0,
+            "max_depth": 0, "invariant_evals": {}, "handler_fires": {},
+            "elapsed": 0.0, "elapsed_at_cut": 0.0,
+        }
         if self.resume:
             payload = load_checkpoint(self.resume)
-            self._validate_resume(payload)
-            for key in ("wave", "transitions", "max_depth", "elapsed",
+            validate_resume(
+                payload, config_echo(template, self.symmetry), self.resume)
+            for key in ("wave", "transitions", "max_depth",
                         "invariant_evals", "handler_fires"):
-                baseline[key] = payload[key]
-            for fp_hex in payload["visited"]:
-                fp = int(fp_hex, 16)
-                loads[fp % n][0].append(fp)
-            for fp_hex, (pfp_hex, label) in payload["parents"].items():
-                fp = int(fp_hex, 16)
-                pfp = None if pfp_hex is None else int(pfp_hex, 16)
-                loads[fp % n][1][fp] = (pfp, label)
+                mirror[key] = payload[key]
+            mirror["elapsed"] = payload["elapsed"]
+            mirror["elapsed_at_cut"] = payload["elapsed"]
+            mirror["visited"] = {int(fp_hex, 16)
+                                 for fp_hex in payload["visited"]}
+            mirror["parents"] = {
+                int(fp_hex, 16): (
+                    None if pfp_hex is None else int(pfp_hex, 16), label)
+                for fp_hex, (pfp_hex, label) in payload["parents"].items()}
+            # A checkpoint frontier may propose the same state from
+            # several senders; keep the canonical-minimum edge -- the
+            # same rule the worker seed op applies -- so the mirror and
+            # the workers agree on the spanning tree from wave one.
             for fp_hex, state_json, pfp_hex, label, depth in (
                     payload["frontier"]):
                 fp = int(fp_hex, 16)
                 pfp = None if pfp_hex is None else int(pfp_hex, 16)
-                seeds[fp % n].append(
-                    (fp, state_from_jsonable(state_json), pfp, label, depth))
+                edge = (pfp if pfp is not None else -1, label or "")
+                current = mirror["pending"].get(fp)
+                if current is not None:
+                    held = (current[0] if current[0] is not None else -1,
+                            current[1] or "")
+                    if edge >= held:
+                        continue
+                mirror["pending"][fp] = (pfp, label, depth)
+                if state_json is not None:
+                    # Serial writers store frontier states by reference
+                    # (null slot); _pending_states replays those from
+                    # their parent chains when the seed op needs them.
+                    mirror["pending_states"][fp] = state_from_jsonable(
+                        state_json)
+                mirror["parents"][fp] = (pfp, label)
         else:
             initial = initial_global_state(
                 template.protocol, template.n_nodes, template.n_blocks,
                 template.home_of, template.events.initial,
                 faults=template.fault_budget)
             fp0 = template.fingerprint_fn(initial)
-            seeds[fp0 % n].append((fp0, initial, None, "<initial>", 0))
+            mirror["pending"][fp0] = (None, "<initial>", 0)
+            mirror["pending_states"][fp0] = initial
+            mirror["parents"][fp0] = (None, "<initial>")
+
+        n = self.workers
+        worker_losses = 0
+        # Each loss sheds a worker; allow a few extra attempts at the
+        # one-worker floor before declaring the environment hostile.
+        max_recoveries = self.workers + 4
+        last_loss: Optional[_WorkerLost] = None
+        while True:
+            try:
+                return self._explore(n, mirror, start, worker_losses)
+            except WorkerLostError:
+                if last_loss is None:
+                    raise     # could not even start the first fleet
+                return self._salvage(mirror, start, worker_losses)
+            except _WorkerLost as loss:
+                last_loss = loss
+                worker_losses += 1
+                if self.on_worker_loss != "degrade":
+                    raise WorkerLostError(
+                        f"worker {loss.worker_id} died during "
+                        f"{loss.phase}; rerun with "
+                        f"on_worker_loss='degrade' (CLI: --on-worker-loss "
+                        f"degrade) to re-shard onto the survivors and "
+                        f"continue") from None
+                if worker_losses > max_recoveries:
+                    return self._salvage(mirror, start, worker_losses)
+                n = max(1, n - 1)
+
+    def _salvage(self, mirror, start, worker_losses: int) -> CheckResult:
+        """Recovery budget exhausted: persist the mirror's cut and
+        return what was soundly explored up to it."""
+        template = self._template
+        if self.checkpoint_out:
+            self._write_checkpoint_from_mirror(self.checkpoint_out, mirror)
+        return CheckResult(
+            protocol_name=template.protocol.name,
+            ok=True,
+            states_explored=len(mirror["visited"]),
+            transitions=mirror["transitions"],
+            max_depth=mirror["max_depth"],
+            elapsed_seconds=mirror["elapsed"]
+            + (time.perf_counter() - start),
+            violation=None,
+            n_nodes=template.n_nodes,
+            n_blocks=template.n_blocks,
+            reorder_bound=template.reorder_bound,
+            hit_state_limit=False,
+            invariant_evals=dict(mirror["invariant_evals"]),
+            handler_fires=dict(mirror["handler_fires"]),
+            exhausted=False,
+            workers=self.workers,
+            fault_budget=template.fault_budget,
+            canonical_states=(len(mirror["visited"]) if self.symmetry
+                              else None),
+            stop_reason="worker_lost",
+            worker_losses=worker_losses,
+        )
+
+    def _spawn_worker(self, ctx, i: int, n: int):
+        """Start one worker process, retrying transient spawn failures
+        with exponential backoff."""
+        last_error = None
+        for attempt in range(_SPAWN_ATTEMPTS):
+            if attempt:
+                time.sleep(0.05 * (2 ** (attempt - 1)))
+            try:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child_conn, i, n, self._template),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+                return parent_conn, proc
+            except OSError as error:  # pragma: no cover - env-dependent
+                last_error = error
+        raise WorkerLostError(
+            f"could not spawn worker {i} after {_SPAWN_ATTEMPTS} "
+            f"attempts: {last_error}")
+
+    def _explore(self, n: int, mirror, start, worker_losses: int
+                 ) -> CheckResult:
+        template = self._template
+        track = self.on_worker_loss == "degrade"
+
+        baseline = {key: (dict(mirror[key]) if isinstance(mirror[key], dict)
+                          else mirror[key])
+                    for key in ("wave", "transitions", "max_depth",
+                                "elapsed", "invariant_evals",
+                                "handler_fires")}
+        pending = mirror["pending"]
+        loads: list[tuple[list, dict]] = [([], {}) for _ in range(n)]
+        for fp in mirror["visited"]:
+            loads[fp % n][0].append(fp)
+        for fp, entry in mirror["parents"].items():
+            if fp in pending:
+                continue
+            loads[fp % n][1][fp] = entry
+        pending_states = self._pending_states(mirror)
+        seeds: list[list] = [[] for _ in range(n)]
+        for fp, (pfp, label, depth) in pending.items():
+            seeds[fp % n].append(
+                (fp, pending_states[fp], pfp, label, depth))
 
         if "fork" in multiprocessing.get_all_start_methods():
             ctx = multiprocessing.get_context("fork")
@@ -686,54 +1007,72 @@ class ParallelChecker:
         conns = []
         procs = []
         for i in range(n):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main,
-                               args=(child_conn, i, n, template),
-                               daemon=True)
-            proc.start()
-            child_conn.close()
+            parent_conn, proc = self._spawn_worker(ctx, i, n)
             conns.append(parent_conn)
             procs.append(proc)
 
         interrupted = False
 
-        def call_all(ops):
+        def call_all(ops, phase: str):
             """Send ``ops[i]`` to worker i (None skips) and collect one
-            reply each.  A Ctrl-C mid-phase flags ``interrupted`` and
-            still drains the phase, so the master always reaches the
-            next layer boundary with consistent worker state."""
+            reply each, polling with liveness checks so a dead or
+            wedged worker raises :class:`_WorkerLost` instead of
+            hanging the barrier.  A Ctrl-C mid-phase flags
+            ``interrupted`` and still drains the phase, so the master
+            always reaches the next layer boundary with consistent
+            worker state."""
             nonlocal interrupted
             replies: list = [None] * n
+            got = [False] * n
             sent = [False] * n
+            waited = [0.0] * n
             while True:
                 try:
                     for i, conn in enumerate(conns):
-                        if ops[i] is not None and not sent[i]:
-                            conn.send(ops[i])
-                            sent[i] = True
-                    for i, conn in enumerate(conns):
-                        if ops[i] is None or replies[i] is not None:
+                        if ops[i] is None or sent[i]:
                             continue
-                        if interrupted:
-                            if conn.poll(300):
-                                replies[i] = conn.recv()[1]
-                        else:
-                            replies[i] = conn.recv()[1]
+                        if not procs[i].is_alive():
+                            raise _WorkerLost(i, phase)
+                        try:
+                            conn.send(ops[i])
+                        except (BrokenPipeError, OSError):
+                            raise _WorkerLost(i, phase) from None
+                        sent[i] = True
+                    for i, conn in enumerate(conns):
+                        if ops[i] is None or got[i]:
+                            continue
+                        while not got[i]:
+                            try:
+                                if conn.poll(_LIVENESS_POLL_SECONDS):
+                                    replies[i] = conn.recv()[1]
+                                    got[i] = True
+                                    break
+                            except (EOFError, OSError):
+                                raise _WorkerLost(i, phase) from None
+                            waited[i] += _LIVENESS_POLL_SECONDS
+                            if not procs[i].is_alive():
+                                raise _WorkerLost(i, phase)
+                            if (self.worker_stall_timeout is not None
+                                    and waited[i]
+                                    >= self.worker_stall_timeout):
+                                procs[i].kill()
+                                raise _WorkerLost(
+                                    i, f"{phase} (stalled "
+                                    f">{self.worker_stall_timeout:g}s)")
                     return replies
                 except KeyboardInterrupt:
                     interrupted = True
 
         try:
-            if self.resume:
-                for i, conn in enumerate(conns):
-                    conn.send(("load", loads[i][0], loads[i][1]))
-                for conn in conns:
-                    conn.recv()
+            if mirror["visited"]:
+                call_all([("load", loads[i][0], loads[i][1])
+                          for i in range(n)], "load")
 
             wave = baseline["wave"]
             transitions = baseline["transitions"]
             max_depth = baseline["max_depth"]
             hit_limit = False
+            stop_reason: Optional[str] = None
             violation_record = None
             prof = self.profiler
             if prof is not None:
@@ -754,7 +1093,8 @@ class ParallelChecker:
             # pointers, invariants) happens at the owner exactly as it
             # will for every later layer.
             seed_started = time.perf_counter()
-            seed_replies = call_all([("seed", seeds[i]) for i in range(n)])
+            seed_replies = call_all([("seed", seeds[i]) for i in range(n)],
+                                    "seed")
             total_states = sum(r["visited"] for r in seed_replies if r)
             max_depth = max([max_depth] + [r["max_depth"]
                                            for r in seed_replies if r])
@@ -771,9 +1111,18 @@ class ParallelChecker:
 
             last_bucket = total_states // self.progress_every
             last_replies: list = []
+            last_ckpt_wave = baseline["wave"]
+            last_ckpt_time = time.perf_counter()
+            last_ckpt_cost = 0.0
 
             while True:
                 cycle_started = time.perf_counter()
+
+                if self.chaos_hook is not None:
+                    # Fault-injection point for the chaos harness: the
+                    # hook may SIGKILL/SIGSTOP workers; the next barrier
+                    # detects the damage through the liveness polls.
+                    self.chaos_hook(wave, procs)
 
                 # Balance the coming expansion: relocate tasks from the
                 # richest ready set to the poorest when the gap is worth
@@ -787,16 +1136,17 @@ class ParallelChecker:
                         count = gap // 2
                         ops: list = [None] * n
                         ops[rich] = ("donate", count)
-                        tasks = call_all(ops)[rich] or []
+                        tasks = call_all(ops, "donate")[rich] or []
                         if tasks:
                             ops = [None] * n
                             ops[poor] = ("take", tasks)
-                            call_all(ops)
+                            call_all(ops, "take")
                             ready_counts[rich] -= len(tasks)
                             ready_counts[poor] += len(tasks)
 
                 wave_no = wave
-                expand_replies = call_all([("expand", wave_no)] * n)
+                expand_replies = call_all([("expand", wave_no)] * n,
+                                          "expand")
                 wave += 1
                 expand_wall = time.perf_counter() - cycle_started
                 last_replies = expand_replies
@@ -841,16 +1191,24 @@ class ParallelChecker:
                               "accepted": r["accepted"] if r else 0}
                              for i, r in enumerate(expand_replies)])
 
+                if track:
+                    # The layer boundary is a consistent cut: every
+                    # accepted state is expanded, every pending
+                    # candidate is in ``meta`` with its state stashed
+                    # at the sender.  Snapshot it so a later worker
+                    # loss can recover exactly here.
+                    self._advance_mirror(
+                        mirror, meta, wave, transitions, max_depth,
+                        baseline, expand_replies, start)
+
                 if interrupted:
-                    # The layer boundary is clean here: every accepted
-                    # state is expanded, every pending candidate is in
-                    # ``meta`` with its state stashed at the sender.
                     record_partial_wave()
                     if self.checkpoint_out:
                         self._write_checkpoint(
                             self.checkpoint_out, conns, meta, wave,
                             stats_now())
-                    raise KeyboardInterrupt
+                    stop_reason = "interrupted"
+                    break
 
                 violations = pending_violations + [
                     v for r in expand_replies if r for v in r["violations"]]
@@ -867,6 +1225,24 @@ class ParallelChecker:
                     if r and r.get("symmetry_error")]
                 if symmetry_errors:
                     raise SymmetryError(min(symmetry_errors))
+                # Resource budgets stop the run at this clean boundary:
+                # checkpoint the cut, then report why via stop_reason.
+                if (self.deadline_seconds is not None
+                        and time.perf_counter() - start
+                        >= self.deadline_seconds):
+                    stop_reason = "deadline"
+                elif (self.max_visited_bytes is not None
+                      and sum(r["visited_bytes"]
+                              for r in expand_replies if r)
+                      > self.max_visited_bytes):
+                    stop_reason = "memory"
+                if stop_reason is not None:
+                    record_partial_wave()
+                    if self.checkpoint_out:
+                        self._write_checkpoint(
+                            self.checkpoint_out, conns, meta, wave,
+                            stats_now())
+                    break
                 if total_states >= template.max_states:
                     hit_limit = True
                     record_partial_wave()
@@ -878,11 +1254,34 @@ class ParallelChecker:
                 if frontier_size == 0:
                     record_partial_wave()
                     break
+                if (self.checkpoint_out is not None
+                        and (self.checkpoint_interval_waves
+                             or self.checkpoint_interval_seconds)):
+                    now = time.perf_counter()
+                    if (((self.checkpoint_interval_waves
+                          and wave - last_ckpt_wave
+                          >= self.checkpoint_interval_waves)
+                         or (self.checkpoint_interval_seconds
+                             and now - last_ckpt_time
+                             >= self.checkpoint_interval_seconds))
+                            and now - last_ckpt_time
+                            >= PERIODIC_SPACING_RATIO * last_ckpt_cost):
+                        # Periodic writes skip the fsync (loss window
+                        # is the next interval); stop-reason and final
+                        # checkpoints stay durable.  The spacing guard
+                        # self-limits checkpoint time to a bounded
+                        # wall-time fraction (see PERIODIC_SPACING_RATIO).
+                        self._write_checkpoint(
+                            self.checkpoint_out, conns, meta, wave,
+                            stats_now(), durable=False)
+                        last_ckpt_wave = wave
+                        last_ckpt_cost = time.perf_counter() - now
+                        last_ckpt_time = time.perf_counter()
 
                 # Owners dedupe the candidates; fresh own-shard states
                 # resolve locally, foreign ones are staged per sender.
                 ingest_replies = call_all(
-                    [("ingest", meta[i]) for i in range(n)])
+                    [("ingest", meta[i]) for i in range(n)], "ingest")
 
                 # Fetch only the states that survived dedupe, then hand
                 # them to their owners.
@@ -897,7 +1296,7 @@ class ParallelChecker:
                                for fp in fps])
                     if need_by_sender[i] else None
                     for i in range(n)]
-                fetch_replies = call_all(fetch_ops)
+                fetch_replies = call_all(fetch_ops, "fetch")
                 adopt_batches: list[list] = [[] for _ in range(n)]
                 for sender in range(n):
                     if fetch_ops[sender] is None or not fetch_replies[sender]:
@@ -913,7 +1312,8 @@ class ParallelChecker:
                             # this adds the state-shipping bytes.
                             prof.add_cross_shard(0, len(pickle.dumps(batch)))
                 adopt_replies = call_all(
-                    [("adopt", adopt_batches[i]) for i in range(n)])
+                    [("adopt", adopt_batches[i]) for i in range(n)],
+                    "adopt")
 
                 total_states = sum(r["visited"] for r in adopt_replies if r)
                 max_depth = max([max_depth] + [r["max_depth"]
@@ -942,13 +1342,16 @@ class ParallelChecker:
 
             violation = None
             if violation_record is not None:
-                violation = self._trace_for(conns, violation_record)
+                violation = self._trace_for(
+                    conns, violation_record, n,
+                    mirror=mirror if track else None)
 
             invariant_evals = dict(baseline["invariant_evals"])
             handler_fires = dict(baseline["handler_fires"])
-            for conn in conns:
-                conn.send(("finish",))
-                _, stats = conn.recv()
+            finish_replies = call_all([("finish",)] * n, "finish")
+            for stats in finish_replies:
+                if not stats:
+                    continue
                 for name, count in stats["invariant_evals"].items():
                     invariant_evals[name] = (
                         invariant_evals.get(name, 0) + count)
@@ -986,10 +1389,12 @@ class ParallelChecker:
                 hit_state_limit=hit_limit,
                 invariant_evals=invariant_evals,
                 handler_fires=handler_fires,
-                exhausted=not hit_limit,
-                workers=n,
+                exhausted=not hit_limit and stop_reason is None,
+                workers=self.workers,
                 fault_budget=template.fault_budget,
                 canonical_states=(total_states if self.symmetry else None),
+                stop_reason=stop_reason,
+                worker_losses=worker_losses,
             )
             if prof is not None:
                 result.profile = prof.build(result)

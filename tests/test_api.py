@@ -84,11 +84,34 @@ class TestCheck:
         with pytest.raises(ValueError):
             check("stache", CheckOptions(workers=-1))
 
-    def test_rejects_checkpoint_without_workers(self, tmp_path):
+    def test_serial_checkpoint_supported(self, tmp_path):
+        # Serial checkpointing: a truncated run writes a resumable
+        # checkpoint; resuming reaches the uninterrupted state count.
+        path = str(tmp_path / "c.json")
+        full = check("lcm", CheckOptions(nodes=2, addresses=1, reorder=1))
+        truncated = check(
+            "lcm", CheckOptions(nodes=2, addresses=1, reorder=1,
+                                max_states=50,
+                                checkpoint=CheckpointOptions(out=path)))
+        assert truncated.hit_state_limit
+        resumed = check(
+            "lcm", CheckOptions(nodes=2, addresses=1, reorder=1,
+                                checkpoint=CheckpointOptions(resume=path)))
+        assert resumed.states_explored == full.states_explored
+
+    def test_rejects_checkpoint_with_liveness(self, tmp_path):
         with pytest.raises(ValueError):
             check("stache",
-                  CheckOptions(checkpoint=CheckpointOptions(
-                      out=str(tmp_path / "c.json"))))
+                  CheckOptions(liveness=True,
+                               checkpoint=CheckpointOptions(
+                                   out=str(tmp_path / "c.json"))))
+
+    def test_rejects_checkpoint_with_por(self, tmp_path):
+        with pytest.raises(ValueError):
+            check("stache",
+                  CheckOptions(reduction=ReductionOptions(por=True),
+                               checkpoint=CheckpointOptions(
+                                   out=str(tmp_path / "c.json"))))
 
     def test_rejects_liveness_with_workers(self):
         with pytest.raises(ValueError):

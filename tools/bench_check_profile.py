@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -35,6 +36,7 @@ from bench_common import bench_meta, timing_row, write_bench  # noqa: E402
 from repro.api import (  # noqa: E402
     ArtifactOptions,
     CheckOptions,
+    CheckpointOptions,
     ReductionOptions,
     check,
 )
@@ -79,6 +81,8 @@ def main() -> int:
     parser.add_argument("--repeats", type=int, default=5)
     args = parser.parse_args()
 
+    ckpt_tmp = tempfile.TemporaryDirectory(prefix="teapot-bench-ckpt-")
+    ckpt_dir = ckpt_tmp.name
     configs = {
         "baseline": CheckOptions(**ROW),
         "profiled": CheckOptions(
@@ -87,6 +91,18 @@ def main() -> int:
             **ROW, workers=2, artifacts=ArtifactOptions(profile=True)),
         "atlas_armed": CheckOptions(
             **ROW, artifacts=ArtifactOptions(atlas=True)),
+        # Checkpointing requires fingerprint-keyed visited sets, so the
+        # honest reference for checkpoint overhead is the same engine
+        # without checkpointing -- not the full-state baseline.
+        "fingerprint_serial": CheckOptions(**ROW, fingerprints=True),
+        # Serial run writing a sealed checkpoint every other wave: the
+        # cost of resilient checking (reference-frontier format +
+        # single-serialization atomic writes).  Gated in CI so periodic
+        # checkpointing stays cheap.
+        "checkpoint_interval": CheckOptions(
+            **ROW, checkpoint=CheckpointOptions(
+                out=os.path.join(ckpt_dir, "bench_ckpt.json"),
+                interval_waves=2)),
     }
     rows = {}
     outcomes = set()
@@ -146,6 +162,26 @@ def main() -> int:
         row["overhead_pct"] = round(
             100.0 * (row["wall_seconds"] - base) / base, 1)
 
+    # Periodic checkpointing must stay cheap: <= 10% wall-time overhead
+    # over the same fingerprint-mode run without checkpointing, with
+    # the rows' own measured run-to-run spread as the noise allowance.
+    fp_row = rows["fingerprint_serial"]
+    ck_row = rows["checkpoint_interval"]
+    ckpt_overhead = round(
+        100.0 * (ck_row["wall_seconds"] - fp_row["wall_seconds"])
+        / fp_row["wall_seconds"], 1)
+    ck_row["checkpoint_overhead_pct"] = ckpt_overhead
+    allowance = max(10.0, fp_row["wall_spread_pct"],
+                    ck_row["wall_spread_pct"])
+    print(f"{'ckpt overhead':20s} {ckpt_overhead:+8.1f}% vs "
+          f"fingerprint_serial (budget 10%, noise allows "
+          f"{allowance:.0f}%)")
+    if ckpt_overhead > allowance:
+        raise SystemExit(
+            f"periodic checkpointing costs {ckpt_overhead:.1f}% over "
+            f"the fingerprint serial run (budget 10%, noise allowance "
+            f"{allowance:.0f}%)")
+
     report = bench_meta("exploration profiler overhead, Table 3 LCM MCC")
     report.update({
         "protocol": PROTOCOL,
@@ -169,6 +205,7 @@ def main() -> int:
                 "(bench_compare.py).",
     })
     write_bench(args.output, report)
+    ckpt_tmp.cleanup()
     return 0
 
 

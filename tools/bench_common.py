@@ -12,11 +12,17 @@ each benchmark keeps its own row layout.
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import subprocess
+import sys
 from datetime import datetime, timezone
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"))
+
+from repro.ioutil import atomic_write_json  # noqa: E402
 
 BENCH_SCHEMA = "teapot-bench/1"
 
@@ -91,7 +97,7 @@ def timing_row(samples) -> dict:
 
 
 def write_bench(path: str, report: dict) -> None:
-    with open(path, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    # Atomic (tmp + fsync + rename): a bench run killed mid-write must
+    # not leave a torn BENCH_*.json that bench_compare.py then parses.
+    atomic_write_json(path, report, indent=2)
     print(f"wrote {path}")

@@ -1,0 +1,278 @@
+"""Chaos harness for the checker itself: kill, stall, and corrupt.
+
+The resilience claims in docs/ROBUSTNESS.md are only claims until
+something actually murders a worker mid-wave.  This harness disturbs
+real checking runs and asserts the recovery contract:
+
+* **kill** -- SIGKILL one worker at each sampled wave index, under
+  ``on_worker_loss='degrade'``: the run must recover by re-sharding the
+  last completed wave onto the survivors and finish with the *exact*
+  undisturbed verdict, state count, transition count, and (for failing
+  protocols) counterexample trace.
+* **stall** -- SIGSTOP a worker so it goes silent without dying;
+  ``worker_stall_timeout`` must declare it lost, kill it, and recover
+  identically.
+* **corrupt** -- take a genuine sealed checkpoint and damage it every
+  way we can think of (bit flips, truncations, a seal-stripped edit,
+  the wrong kind, binary garbage): every variant must fail with a
+  one-line :class:`CheckpointError` -- a typed, actionable refusal,
+  never a traceback and never a silently wrong resume.
+
+Used by the non-gating ``chaos`` CI job.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_check.py [-o CHAOS_CHECK.json]
+        [--protocols stache,lcm,lcm_mcc] [--workers 2,3,4]
+        [--kill-waves 0,2,5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.ioutil import atomic_write_json  # noqa: E402
+from repro.protocols import compile_named_protocol  # noqa: E402
+from repro.verify import (  # noqa: E402
+    CheckpointError,
+    ModelChecker,
+    ParallelChecker,
+    events_for_protocol,
+)
+from repro.verify.invariants import standard_invariants  # noqa: E402
+
+# Protocol -> checker configuration.  lcm_mcc at 2 blocks deadlocks,
+# exercising recovery on a FAILing run (the trace must survive chaos).
+CONFIGS = {
+    "stache": {"n_nodes": 2, "n_blocks": 1, "reorder": 0},
+    "lcm": {"n_nodes": 2, "n_blocks": 1, "reorder": 1},
+    "lcm_mcc": {"n_nodes": 2, "n_blocks": 2, "reorder": 1},
+}
+
+
+def make_parallel(name: str, workers: int, **kwargs) -> ParallelChecker:
+    config = CONFIGS[name]
+    return ParallelChecker(
+        compile_named_protocol(name),
+        n_nodes=config["n_nodes"],
+        n_blocks=config["n_blocks"],
+        reorder_bound=config["reorder"],
+        events=events_for_protocol(name),
+        invariants=standard_invariants(coherent=True),
+        workers=workers,
+        **kwargs)
+
+
+def outcome(result) -> dict:
+    """The fields every disturbed run must reproduce exactly."""
+    cell = {
+        "ok": result.ok,
+        "states": result.states_explored,
+        "transitions": result.transitions,
+        "max_depth": result.max_depth,
+    }
+    if result.violation is not None:
+        cell["violation_kind"] = result.violation.kind
+        cell["violation_message"] = result.violation.message
+        cell["trace"] = list(result.violation.trace)
+    return cell
+
+
+class KillAtWave:
+    """SIGKILL worker ``victim`` the first time wave ``at`` starts."""
+
+    def __init__(self, at: int, victim: int = 0):
+        self.at = at
+        self.victim = victim
+        self.fired = False
+
+    def __call__(self, wave: int, procs) -> None:
+        if self.fired or wave != self.at:
+            return
+        self.fired = True
+        target = procs[self.victim % len(procs)]
+        if target.pid is not None:
+            os.kill(target.pid, signal.SIGKILL)
+
+
+class StallAtWave:
+    """SIGSTOP a worker so it hangs silently instead of dying."""
+
+    def __init__(self, at: int, victim: int = 0):
+        self.at = at
+        self.victim = victim
+        self.fired = False
+
+    def __call__(self, wave: int, procs) -> None:
+        if self.fired or wave != self.at:
+            return
+        self.fired = True
+        target = procs[self.victim % len(procs)]
+        if target.pid is not None:
+            os.kill(target.pid, signal.SIGSTOP)
+
+
+def run_kill_cell(name: str, workers: int, wave: int,
+                  baseline: dict) -> dict:
+    checker = make_parallel(name, workers, on_worker_loss="degrade",
+                            chaos_hook=KillAtWave(wave))
+    started = time.perf_counter()
+    result = checker.run()
+    got = outcome(result)
+    cell = {
+        "verdict": "recovered" if got == baseline else "MISMATCH",
+        "worker_losses": result.worker_losses,
+        "seconds": round(time.perf_counter() - started, 3),
+    }
+    if got != baseline:
+        cell["expected"] = baseline
+        cell["got"] = got
+    return cell
+
+
+def run_stall_cell(name: str, workers: int, wave: int,
+                   baseline: dict) -> dict:
+    checker = make_parallel(name, workers, on_worker_loss="degrade",
+                            worker_stall_timeout=2.0,
+                            chaos_hook=StallAtWave(wave))
+    started = time.perf_counter()
+    result = checker.run()
+    got = outcome(result)
+    cell = {
+        "verdict": "recovered" if got == baseline else "MISMATCH",
+        "worker_losses": result.worker_losses,
+        "seconds": round(time.perf_counter() - started, 3),
+    }
+    if got != baseline:
+        cell["expected"] = baseline
+        cell["got"] = got
+    return cell
+
+
+def corruption_variants(blob: bytes):
+    """Every way we damage a checkpoint file, as (label, bytes)."""
+    yield "truncated_half", blob[:len(blob) // 2]
+    yield "truncated_one_byte", blob[:-2]
+    yield "empty", b""
+    flipped = bytearray(blob)
+    flipped[len(flipped) // 2] ^= 0x40
+    yield "bitflip_middle", bytes(flipped)
+    yield "binary_garbage", bytes(range(256)) * 4
+    yield "wrong_kind", blob.replace(b"teapot-parallel-checkpoint",
+                                     b"teapot-mystery-checkpoint", 1)
+    # A legal-JSON edit of sealed content: the seal must catch it.
+    yield "edited_field", blob.replace(b'"wave":', b'"wave": 999,'
+                                       b' "wave_orig":', 1)
+
+
+def run_corruption_matrix(tmpdir: str) -> dict:
+    """A real checkpoint, damaged every way; each load must refuse
+    with a one-line CheckpointError."""
+    path = os.path.join(tmpdir, "chaos_ck.json")
+    config = CONFIGS["lcm"]
+    ModelChecker(
+        compile_named_protocol("lcm"),
+        n_nodes=config["n_nodes"], n_blocks=config["n_blocks"],
+        reorder_bound=config["reorder"],
+        events=events_for_protocol("lcm"),
+        invariants=standard_invariants(coherent=True),
+        fingerprint_states=True,
+        max_states=100, checkpoint_out=path).run()
+    with open(path, "rb") as handle:
+        blob = handle.read()
+
+    cells = {}
+    for label, damaged in corruption_variants(blob):
+        victim = os.path.join(tmpdir, f"chaos_ck_{label}.json")
+        with open(victim, "wb") as handle:
+            handle.write(damaged)
+        checker = make_parallel("lcm", 2, resume=victim)
+        try:
+            checker.run()
+        except CheckpointError as error:
+            message = str(error)
+            if "\n" in message:
+                cells[label] = {"verdict": "MULTILINE",
+                                "message": message}
+            else:
+                cells[label] = {"verdict": "refused", "message": message}
+        except Exception as error:  # noqa: BLE001 -- report, don't die
+            cells[label] = {"verdict": "WRONG_ERROR",
+                            "message": f"{type(error).__name__}: {error}"}
+        else:
+            cells[label] = {"verdict": "ACCEPTED_CORRUPT"}
+    return cells
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="CHAOS_CHECK.json")
+    parser.add_argument("--protocols", default="stache,lcm,lcm_mcc",
+                        help="comma-separated subset of "
+                             f"{', '.join(CONFIGS)}")
+    parser.add_argument("--workers", default="2,3,4",
+                        help="comma-separated worker counts")
+    parser.add_argument("--kill-waves", default="0,2,5",
+                        help="wave indices at which to SIGKILL a worker")
+    args = parser.parse_args()
+
+    names = args.protocols.split(",")
+    unknown = [name for name in names if name not in CONFIGS]
+    if unknown:
+        raise SystemExit(f"unknown protocols: {', '.join(unknown)}")
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    kill_waves = [int(w) for w in args.kill_waves.split(",")]
+
+    failures = []
+    report = {"benchmark": "chaos harness: kill/stall/corrupt the "
+                           "checker", "cells": {}}
+
+    for name in names:
+        baseline = outcome(make_parallel(name, 2).run())
+        report["cells"][name] = {"baseline": baseline}
+        for workers in worker_counts:
+            for wave in kill_waves:
+                key = f"kill@w{wave} x{workers}"
+                cell = run_kill_cell(name, workers, wave, baseline)
+                report["cells"][name][key] = cell
+                if cell["verdict"] != "recovered":
+                    failures.append(f"{name} {key}")
+                print(f"{name:8s} {key:16s} {cell['verdict']} "
+                      f"(losses={cell['worker_losses']}, "
+                      f"{cell['seconds']}s)")
+        key = "stall@w1 x2"
+        cell = run_stall_cell(name, 2, 1, baseline)
+        report["cells"][name][key] = cell
+        if cell["verdict"] != "recovered":
+            failures.append(f"{name} {key}")
+        print(f"{name:8s} {key:16s} {cell['verdict']} "
+              f"(losses={cell['worker_losses']}, {cell['seconds']}s)")
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        corruption = run_corruption_matrix(tmpdir)
+    report["corruption"] = corruption
+    for label, cell in corruption.items():
+        if cell["verdict"] != "refused":
+            failures.append(f"corrupt:{label} -> {cell['verdict']}")
+        print(f"corrupt  {label:18s} {cell['verdict']}")
+
+    report["failures"] = failures
+    atomic_write_json(args.output, report, indent=2)
+    print(f"wrote {args.output}")
+    if failures:
+        print(f"CHAOS FAILURES: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("chaos matrix green: every disturbed run recovered exactly; "
+          "every corrupt checkpoint was refused with a one-line error")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import platform
 import sys
@@ -30,6 +29,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.api import CheckOptions, check  # noqa: E402
+from repro.ioutil import atomic_write_json  # noqa: E402
 from repro.faults import FaultBudget  # noqa: E402
 from repro.protocols import PROTOCOLS  # noqa: E402
 
@@ -99,9 +99,7 @@ def main() -> int:
                 "reliable network); reliable-column failures are "
                 "regressions",
     }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    atomic_write_json(args.output, report, indent=2)
     print(f"wrote {args.output}")
     if reliable_failures:
         print(f"REGRESSION: fault-free failures in "
